@@ -1,0 +1,180 @@
+// Package alisa is a from-scratch reproduction of "ALISA: Accelerating
+// Large Language Model Inference via Sparsity-Aware KV Caching" (ISCA
+// 2024): the Sparse Window Attention algorithm, the three-phase
+// token-level dynamic scheduler with its offline optimizer, INT8 KV
+// compression, the baseline systems the paper compares against (FlexGen,
+// vLLM, DeepSpeed-ZeRO, HuggingFace Accelerate), and a simulated single
+// GPU–CPU system standing in for the paper's V100/H100 testbeds.
+//
+// The public surface has three levels:
+//
+//   - Simulate runs one end-to-end inference simulation (model ×
+//     hardware × scheduler × workload) and reports throughput, the
+//     execution-time breakdown, and the memory trajectory — the unit of
+//     the paper's system evaluation.
+//   - EvaluatePolicy runs a sparse-attention policy against a calibrated
+//     synthetic attention process and reports attention-mass recall and
+//     Spearman correlation — the unit of the paper's accuracy evaluation.
+//   - Experiments/RunExperiment regenerate every table and figure of the
+//     paper's evaluation section.
+//
+// See DESIGN.md for the system inventory and the hardware-gate
+// substitutions, and EXPERIMENTS.md for paper-vs-measured results.
+package alisa
+
+import (
+	"fmt"
+
+	"repro/internal/attention"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/memsim"
+	"repro/internal/model"
+	"repro/internal/oracle"
+	"repro/internal/sched"
+)
+
+// Options configures one simulated inference run.
+type Options struct {
+	// Model is a catalog name: opt-6.7b, opt-13b, opt-30b, llama-7b,
+	// llama-13b, llama-33b, pythia-6.9b, pythia-12b.
+	Model string
+	// Profile is the simulated hardware: V100-16GB, V100-32GB, H100-80GB.
+	// Empty selects the paper's pairing for the model scale.
+	Profile string
+	// Scheduler is the KV placement policy: alisa, flexgen, vllm,
+	// deepspeed-zero, hf-accelerate, gpu-only, no-cache.
+	Scheduler string
+
+	Batch  int
+	Input  int
+	Output int
+
+	// KVSparsity ∈ [0, 1) is SWA's skipped-token fraction (paper headline
+	// setting: 0.8). KVBits is the KV storage precision, 16 or 8.
+	KVSparsity float64
+	KVBits     int
+}
+
+// Result is the outcome of a simulation; see core.Result for field
+// documentation.
+type Result = core.Result
+
+// Simulate runs one end-to-end inference simulation.
+func Simulate(opts Options) (*Result, error) {
+	mc, err := model.ByName(opts.Model)
+	if err != nil {
+		return nil, err
+	}
+	var prof memsim.Profile
+	if opts.Profile == "" {
+		prof = experiments.PaperProfile(mc)
+	} else {
+		prof, err = memsim.ProfileByName(opts.Profile)
+		if err != nil {
+			return nil, err
+		}
+	}
+	s, err := sched.ByName(opts.Scheduler)
+	if err != nil {
+		return nil, err
+	}
+	return core.Run(core.Config{
+		Model: mc, Profile: prof, Scheduler: s,
+		Batch: opts.Batch, Input: opts.Input, Output: opts.Output,
+		KVSparsity: opts.KVSparsity, KVBits: opts.KVBits,
+	})
+}
+
+// Policy is a sparse-attention token-selection policy (dense, local,
+// strided, swa, h2o).
+type Policy = attention.Policy
+
+// NewPolicy constructs a policy by name at the given caching ratio
+// (1 − KV sparsity) for a model with the given layer count.
+func NewPolicy(name string, cachingRatio float64, layers int) (Policy, error) {
+	switch name {
+	case "dense":
+		return attention.NewDense(), nil
+	case "local":
+		return attention.NewLocal(cachingRatio), nil
+	case "strided":
+		return attention.NewStrided(cachingRatio), nil
+	case "swa":
+		return attention.NewSWA(cachingRatio, layers), nil
+	case "h2o":
+		return attention.NewH2O(cachingRatio, layers), nil
+	}
+	return nil, fmt.Errorf("alisa: unknown policy %q", name)
+}
+
+// PolicyReport summarises an accuracy-side evaluation of a policy.
+type PolicyReport struct {
+	Policy     string
+	KVSparsity float64
+	// MeanRecall is the average dense-attention mass the retained token
+	// sets captured; Spearman is the rank correlation of the policy's
+	// score distribution against dense attention (paper Fig. 4's ρ).
+	MeanRecall float64
+	Spearman   float64
+}
+
+// EvaluatePolicy runs the named policy at the given KV sparsity against an
+// attention process calibrated to the named model, for `steps` decode
+// steps.
+func EvaluatePolicy(modelName, policyName string, kvSparsity float64, steps int, seed int64) (*PolicyReport, error) {
+	mc, err := model.ByName(modelName)
+	if err != nil {
+		return nil, err
+	}
+	spec := oracle.SpecForModel(mc, seed)
+	spec.Layers = 4 // layer sample; the process is layer-exchangeable
+	pol, err := NewPolicy(policyName, 1-kvSparsity, spec.Layers)
+	if err != nil {
+		return nil, err
+	}
+	if steps <= 0 {
+		return nil, fmt.Errorf("alisa: steps must be positive, got %d", steps)
+	}
+	ev := oracle.Evaluate(spec, pol, steps)
+	rep := &PolicyReport{
+		Policy:     policyName,
+		KVSparsity: kvSparsity,
+		MeanRecall: ev.MeanRecall,
+		Spearman:   1,
+	}
+	if policyName != "dense" {
+		rho, err := ev.SpearmanVsDense()
+		if err != nil {
+			return nil, err
+		}
+		rep.Spearman = rho
+	}
+	return rep, nil
+}
+
+// Experiment identifies one reproducible table or figure.
+type Experiment = experiments.Runner
+
+// Experiments lists every reproducible table and figure in paper order.
+func Experiments() []Experiment { return experiments.All() }
+
+// RunExperiment executes one experiment by id ("fig9", "table1", ...) and
+// returns its rendered report.
+func RunExperiment(id string) (string, error) {
+	r, err := experiments.ByID(id)
+	if err != nil {
+		return "", err
+	}
+	res, err := r.Run()
+	if err != nil {
+		return "", err
+	}
+	return res.Render(), nil
+}
+
+// Models lists the model catalog names.
+func Models() []string { return model.Names() }
+
+// Schedulers lists the scheduler names in evaluation order.
+func Schedulers() []string { return sched.Names() }

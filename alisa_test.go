@@ -1,0 +1,123 @@
+package alisa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSimulateHeadline(t *testing.T) {
+	res, err := Simulate(Options{
+		Model: "opt-6.7b", Scheduler: "alisa",
+		Batch: 16, Input: 128, Output: 256,
+		KVSparsity: 0.8, KVBits: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput <= 0 {
+		t.Fatalf("throughput = %v", res.Throughput)
+	}
+}
+
+func TestSimulateExplicitProfile(t *testing.T) {
+	res, err := Simulate(Options{
+		Model: "opt-6.7b", Profile: "H100-80GB", Scheduler: "gpu-only",
+		Batch: 8, Input: 64, Output: 64, KVSparsity: 0, KVBits: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OOM {
+		t.Fatal("8×128 tokens must fit an H100")
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	cases := []Options{
+		{Model: "gpt-5", Scheduler: "alisa", Batch: 1, Input: 1, Output: 1, KVBits: 16},
+		{Model: "opt-6.7b", Scheduler: "magic", Batch: 1, Input: 1, Output: 1, KVBits: 16},
+		{Model: "opt-6.7b", Profile: "TPU", Scheduler: "alisa", Batch: 1, Input: 1, Output: 1, KVBits: 16},
+		{Model: "opt-6.7b", Scheduler: "alisa", Batch: 0, Input: 1, Output: 1, KVBits: 16},
+	}
+	for i, opts := range cases {
+		if _, err := Simulate(opts); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestNewPolicyNames(t *testing.T) {
+	for _, name := range []string{"dense", "local", "strided", "swa", "h2o"} {
+		p, err := NewPolicy(name, 0.5, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Name() != name {
+			t.Fatalf("Name() = %q, want %q", p.Name(), name)
+		}
+	}
+	if _, err := NewPolicy("oracle", 0.5, 2); err == nil {
+		t.Fatal("expected error for unknown policy")
+	}
+}
+
+func TestEvaluatePolicyOrdering(t *testing.T) {
+	swa, err := EvaluatePolicy("opt-6.7b", "swa", 0.8, 256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := EvaluatePolicy("opt-6.7b", "local", 0.8, 256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swa.MeanRecall <= local.MeanRecall {
+		t.Fatalf("SWA recall %.3f should beat local %.3f", swa.MeanRecall, local.MeanRecall)
+	}
+	if swa.Spearman <= local.Spearman {
+		t.Fatalf("SWA ρ %.3f should beat local %.3f", swa.Spearman, local.Spearman)
+	}
+	dense, err := EvaluatePolicy("opt-6.7b", "dense", 0, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense.MeanRecall != 1 || dense.Spearman != 1 {
+		t.Fatalf("dense should be the identity reference: %+v", dense)
+	}
+}
+
+func TestEvaluatePolicyErrors(t *testing.T) {
+	if _, err := EvaluatePolicy("gpt-5", "swa", 0.8, 16, 1); err == nil {
+		t.Fatal("expected model error")
+	}
+	if _, err := EvaluatePolicy("opt-6.7b", "magic", 0.8, 16, 1); err == nil {
+		t.Fatal("expected policy error")
+	}
+	if _, err := EvaluatePolicy("opt-6.7b", "swa", 0.8, 0, 1); err == nil {
+		t.Fatal("expected steps error")
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	if len(Experiments()) < 13 {
+		t.Fatalf("expected ≥13 experiments, got %d", len(Experiments()))
+	}
+	out, err := RunExperiment("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ALISA") {
+		t.Fatalf("table1 render missing content:\n%s", out)
+	}
+	if _, err := RunExperiment("fig99"); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestCatalogs(t *testing.T) {
+	if len(Models()) != 8 {
+		t.Fatalf("models = %v", Models())
+	}
+	if len(Schedulers()) != 5 {
+		t.Fatalf("schedulers = %v", Schedulers())
+	}
+}

@@ -1,0 +1,65 @@
+// Command alisa-bench regenerates the paper's evaluation: every table and
+// figure, or a selected subset.
+//
+// Usage:
+//
+//	alisa-bench -list            # enumerate experiments
+//	alisa-bench -run fig9        # one experiment
+//	alisa-bench -all             # the full evaluation (minutes)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	run := flag.String("run", "", "run one experiment by id (e.g. fig9)")
+	all := flag.Bool("all", false, "run every experiment in paper order")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, r := range experiments.All() {
+			fmt.Printf("%-8s %s\n", r.ID, r.Title)
+		}
+	case *run != "":
+		r, err := experiments.ByID(*run)
+		if err != nil {
+			fatal(err)
+		}
+		if err := execute(r); err != nil {
+			fatal(err)
+		}
+	case *all:
+		for _, r := range experiments.All() {
+			if err := execute(r); err != nil {
+				fatal(err)
+			}
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func execute(r experiments.Runner) error {
+	start := time.Now()
+	res, err := r.Run()
+	if err != nil {
+		return fmt.Errorf("%s: %w", r.ID, err)
+	}
+	fmt.Printf("== %s — %s (ran in %s)\n\n", r.ID, r.Title, time.Since(start).Round(time.Millisecond))
+	fmt.Println(res.Render())
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "alisa-bench:", err)
+	os.Exit(1)
+}

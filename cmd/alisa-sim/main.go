@@ -1,0 +1,60 @@
+// Command alisa-sim runs one end-to-end inference simulation and prints
+// the throughput, execution-time breakdown, memory trajectory, and (for
+// ALISA) the scheduling phases.
+//
+// Example:
+//
+//	alisa-sim -model opt-13b -scheduler alisa -batch 64 -sparsity 0.8 -kvbits 8
+//	alisa-sim -model opt-6.7b -scheduler flexgen -batch 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	alisa "repro"
+	"repro/internal/textfmt"
+)
+
+func main() {
+	opts := alisa.Options{}
+	flag.StringVar(&opts.Model, "model", "opt-6.7b", "model: "+strings.Join(alisa.Models(), ", "))
+	flag.StringVar(&opts.Profile, "profile", "", "hardware profile (default: paper pairing for the model)")
+	flag.StringVar(&opts.Scheduler, "scheduler", "alisa", "scheduler: "+strings.Join(alisa.Schedulers(), ", "))
+	flag.IntVar(&opts.Batch, "batch", 32, "batch size")
+	flag.IntVar(&opts.Input, "input", 128, "prompt length s")
+	flag.IntVar(&opts.Output, "output", 512, "generated tokens n")
+	flag.Float64Var(&opts.KVSparsity, "sparsity", 0.8, "KV sparsity in [0,1)")
+	flag.IntVar(&opts.KVBits, "kvbits", 8, "KV precision: 16 or 8")
+	flag.Parse()
+
+	res, err := alisa.Simulate(opts)
+	if err != nil {
+		if res != nil && res.OOM {
+			fmt.Printf("result: OOM — %v\n", err)
+			os.Exit(0)
+		}
+		fmt.Fprintln(os.Stderr, "alisa-sim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("model=%s scheduler=%s batch=%d s=%d n=%d sparsity=%.0f%% kv=INT%d\n\n",
+		opts.Model, opts.Scheduler, opts.Batch, opts.Input, opts.Output,
+		opts.KVSparsity*100, opts.KVBits)
+	fmt.Printf("throughput:  %.1f tokens/s (%d tokens in %s)\n",
+		res.Throughput, res.Tokens, textfmt.Seconds(res.TotalSeconds))
+	if len(res.Waves) > 1 {
+		fmt.Printf("waves:       %v\n", res.Waves)
+	}
+	fmt.Printf("breakdown:   %s\n", res.Breakdown)
+	fmt.Printf("peak memory: GPU %s, CPU %s\n",
+		textfmt.Bytes(res.Memory.PeakGPU()), textfmt.Bytes(res.Memory.PeakCPU()))
+	if res.Phase2Start >= 0 {
+		fmt.Printf("phase II:    from decode step %d\n", res.Phase2Start)
+	}
+	if res.Phase3Start >= 0 {
+		fmt.Printf("phase III:   from decode step %d\n", res.Phase3Start)
+	}
+}

@@ -1,0 +1,82 @@
+// Command alisa-sweep explores the scheduling-parameter space: for a model
+// and workload it reports the offline optimizer's chosen {α, β, p1, p2}
+// across KV sparsities, alongside the measured throughput at each point —
+// the tooling behind §V-A's "greedy search ... done offline".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	alisa "repro"
+	"repro/internal/costmodel"
+	"repro/internal/experiments"
+	"repro/internal/memsim"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/textfmt"
+)
+
+func main() {
+	modelName := flag.String("model", "opt-13b", "model: "+strings.Join(alisa.Models(), ", "))
+	batch := flag.Int("batch", 64, "batch size")
+	input := flag.Int("input", 128, "prompt length")
+	output := flag.Int("output", 512, "generated tokens")
+	kvbits := flag.Int("kvbits", 8, "KV precision: 16 or 8")
+	flag.Parse()
+
+	mc, err := model.ByName(*modelName)
+	if err != nil {
+		fatal(err)
+	}
+	prof := experiments.PaperProfile(mc)
+	fmt.Printf("optimizer sweep: %s on %s, b=%d s=%d n=%d INT%d\n\n",
+		mc.Name, prof.Name, *batch, *input, *output, *kvbits)
+
+	tb := textfmt.NewTable("KV sparsity", "alpha", "beta", "p1", "p2", "predicted", "measured tput")
+	for _, sparsity := range []float64{0, 0.2, 0.4, 0.6, 0.8} {
+		params := optimize(mc, prof, *batch, *input, *output, sparsity, *kvbits)
+		res, err := alisa.Simulate(alisa.Options{
+			Model: mc.Name, Profile: prof.Name, Scheduler: "alisa",
+			Batch: *batch, Input: *input, Output: *output,
+			KVSparsity: sparsity, KVBits: *kvbits,
+		})
+		measured := "OOM"
+		if err == nil {
+			measured = fmt.Sprintf("%.1f tok/s", res.Throughput)
+		}
+		tb.AddRow(
+			fmt.Sprintf("%.0f%%", sparsity*100),
+			fmt.Sprintf("%.2f", params.Alpha),
+			fmt.Sprintf("%.2f", params.Beta),
+			fmt.Sprint(params.P1),
+			fmt.Sprint(params.P2),
+			textfmt.Seconds(params.PredictedSeconds),
+			measured,
+		)
+	}
+	fmt.Println(tb.String())
+}
+
+// optimize reproduces the engine's pre-run state and invokes the offline
+// parameter search for one sparsity point.
+func optimize(mc model.Config, prof memsim.Profile, batch, input, output int, sparsity float64, kvbits int) sched.Params {
+	sys := memsim.NewSystem(prof)
+	ctx := &sched.Context{
+		Sys: sys, Cost: costmodel.New(prof), Model: mc,
+		Batch: batch, Input: input, Output: output,
+		CachingRatio: 1 - sparsity, KVBits: kvbits,
+	}
+	// Mirror the engine's static reservations.
+	_ = sys.AllocGPU(prof.ReserveBytes)
+	_ = sys.AllocGPU(ctx.WeightBytes())
+	_ = sys.AllocGPU(ctx.ActivationBytes())
+	return sched.Optimize(ctx)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "alisa-sweep:", err)
+	os.Exit(1)
+}

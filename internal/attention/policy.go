@@ -1,0 +1,347 @@
+// Package attention implements the sparse attention policies the paper
+// compares: dense attention, Longformer-style local attention [3],
+// SparseTransformer-style strided attention [8], H2O-style heavy-hitter
+// retention [43], and ALISA's Sparse Window Attention (Algorithm 1).
+//
+// A Policy decides, at every decode step, which cached token positions the
+// new token may attend to. Policies are stateful per layer: SWA and H2O
+// learn token importance from the attention weights observed at earlier
+// steps. The same Policy drives both the runnable decoder (package model's
+// Selector hook) and the synthetic attention-process experiments (package
+// oracle), so algorithmic results and system results use one code path.
+package attention
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Policy selects cached token positions at each decode step.
+//
+// Select returns, for the given layer, the cache indices (0..n-1, n =
+// tokens currently cached) the step attends to, in ascending order.
+// Observe feeds back the post-softmax attention weights the step produced:
+// indices are global token positions with the current token appended last,
+// weights align with indices. Implementations must tolerate Observe calls
+// with indices they did not select (the dense reference path).
+type Policy interface {
+	Name() string
+	Select(layer, n int) []int
+	Observe(layer int, indices []int, weights []float64)
+}
+
+// Budget converts a caching ratio r into a token budget for n cached
+// tokens: ⌊n·r⌉, at least 1 when n > 0 (attending to nothing collapses the
+// distribution).
+func Budget(n int, r float64) int {
+	if n <= 0 {
+		return 0
+	}
+	b := int(math.Floor(float64(n)*r + 0.5))
+	if b < 1 {
+		b = 1
+	}
+	if b > n {
+		b = n
+	}
+	return b
+}
+
+// Dense attends to every cached token — the accuracy reference.
+type Dense struct{}
+
+// NewDense returns the dense (full) attention policy.
+func NewDense() *Dense { return &Dense{} }
+
+// Name implements Policy.
+func (*Dense) Name() string { return "dense" }
+
+// Select implements Policy, returning every cache index.
+func (*Dense) Select(_, n int) []int { return ascending(0, n) }
+
+// Observe implements Policy as a no-op; dense attention is stateless.
+func (*Dense) Observe(int, []int, []float64) {}
+
+// Local is Longformer-style sliding-window attention: keep only the most
+// recent Budget(n, r) tokens. Its failure mode, per the paper's Fig. 4-5,
+// is losing important tokens that sit far from the current position.
+type Local struct {
+	Ratio float64
+}
+
+// NewLocal returns a local-attention policy with the given caching ratio.
+func NewLocal(ratio float64) *Local { return &Local{Ratio: ratio} }
+
+// Name implements Policy.
+func (p *Local) Name() string { return "local" }
+
+// Select implements Policy, returning the last ⌊n·r⌉ cache indices.
+func (p *Local) Select(_, n int) []int {
+	b := Budget(n, p.Ratio)
+	return ascending(n-b, n)
+}
+
+// Observe implements Policy as a no-op; the window ignores history.
+func (*Local) Observe(int, []int, []float64) {}
+
+// Strided is SparseTransformer-style strided attention: attend to every
+// stride-th token walking back from the current position, with the stride
+// chosen so roughly ⌊n·r⌉ tokens are kept.
+type Strided struct {
+	Ratio float64
+}
+
+// NewStrided returns a strided policy with the given caching ratio.
+func NewStrided(ratio float64) *Strided { return &Strided{Ratio: ratio} }
+
+// Name implements Policy.
+func (p *Strided) Name() string { return "strided" }
+
+// Select implements Policy.
+func (p *Strided) Select(_, n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	b := Budget(n, p.Ratio)
+	stride := n / b
+	if stride < 1 {
+		stride = 1
+	}
+	idx := make([]int, 0, b)
+	for i := n - 1; i >= 0 && len(idx) < b; i -= stride {
+		idx = append(idx, i)
+	}
+	reverse(idx)
+	return idx
+}
+
+// Observe implements Policy as a no-op.
+func (*Strided) Observe(int, []int, []float64) {}
+
+// SWA is ALISA's Sparse Window Attention (Algorithm 1). At each step with n
+// cached tokens it keeps k = ⌊n·r/2⌉ locally static tokens (the most
+// recent k) and k globally dynamic tokens — the positions with the largest
+// local attention sum, i.e. the column sums of the attention weights
+// observed over the preceding k steps. The mixture captures both language
+// locality and drifting long-range importance, which is why its attention
+// score distribution tracks dense attention (paper Fig. 4(d)).
+type SWA struct {
+	Ratio  float64
+	layers []*swaLayer
+}
+
+type swaLayer struct {
+	steps []stepRow // history of observed attention rows, oldest first
+	sum   []float64 // per-position weight sum over steps[cut:]
+	cut   int       // steps[:cut] have been subtracted out of sum
+}
+
+type stepRow struct {
+	indices []int
+	weights []float64
+}
+
+// NewSWA returns a Sparse Window Attention policy with the given caching
+// ratio for a model with the given layer count.
+func NewSWA(ratio float64, layers int) *SWA {
+	p := &SWA{Ratio: ratio, layers: make([]*swaLayer, layers)}
+	for i := range p.layers {
+		p.layers[i] = &swaLayer{}
+	}
+	return p
+}
+
+// Name implements Policy.
+func (p *SWA) Name() string { return "swa" }
+
+// K returns the per-half token budget k = ⌊n·r/2⌉ from Algorithm 1, at
+// least 1 for non-empty caches.
+func (p *SWA) K(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	k := int(math.Floor(float64(n)*p.Ratio/2 + 0.5))
+	if k < 1 {
+		k = 1
+	}
+	if 2*k > n {
+		k = n / 2
+		if k < 1 {
+			k = 1
+		}
+	}
+	return k
+}
+
+// Select implements Policy: the union of locally static tokens
+// [n−k, n−1] and the top-k earlier positions by local attention sum.
+func (p *SWA) Select(layer, n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	k := p.K(n)
+	st := p.layer(layer)
+	st.trimTo(k)
+
+	localStart := n - k
+	local := ascending(localStart, n)
+	if localStart == 0 {
+		return local
+	}
+
+	// Globally dynamic: top-k positions before the local window, ranked by
+	// the local attention sum S. Positions never observed score zero and
+	// lose to any observed position; ties break toward newer tokens so the
+	// cold-start behaviour degrades to local attention.
+	scores := make([]float32, localStart)
+	for pos := 0; pos < localStart && pos < len(st.sum); pos++ {
+		scores[pos] = float32(st.sum[pos])
+	}
+	// Small recency epsilon for deterministic, recency-biased tie-breaks.
+	for pos := range scores {
+		scores[pos] += float32(pos) * 1e-12
+	}
+	g := k
+	if g > localStart {
+		g = localStart
+	}
+	global := tensor.ArgTopK(scores, g)
+	sortInts(global)
+	return append(global, local...)
+}
+
+// Observe implements Policy, pushing this step's attention row into the
+// layer's local-sum window.
+func (p *SWA) Observe(layer int, indices []int, weights []float64) {
+	st := p.layer(layer)
+	row := stepRow{
+		indices: append([]int(nil), indices...),
+		weights: append([]float64(nil), weights...),
+	}
+	st.steps = append(st.steps, row)
+	for i, pos := range row.indices {
+		st.grow(pos + 1)
+		st.sum[pos] += row.weights[i]
+	}
+}
+
+func (p *SWA) layer(l int) *swaLayer {
+	if l < 0 || l >= len(p.layers) {
+		panic(fmt.Sprintf("attention: layer %d out of range %d", l, len(p.layers)))
+	}
+	return p.layers[l]
+}
+
+func (st *swaLayer) grow(n int) {
+	for len(st.sum) < n {
+		st.sum = append(st.sum, 0)
+	}
+}
+
+// trimTo keeps only the most recent k observed rows in the running sum:
+// S = Σ AW[n−k : n−1] from Algorithm 1, maintained incrementally.
+func (st *swaLayer) trimTo(k int) {
+	for len(st.steps)-st.cut > k {
+		row := st.steps[st.cut]
+		for i, pos := range row.indices {
+			if pos < len(st.sum) {
+				st.sum[pos] -= row.weights[i]
+			}
+		}
+		st.steps[st.cut] = stepRow{} // release for GC
+		st.cut++
+	}
+}
+
+// H2O is the heavy-hitter oracle baseline [43]: like SWA it splits the
+// budget between recent tokens and scored tokens, but scores are the
+// *cumulative* attention sum over all steps rather than ALISA's local
+// (last-k-step) sum. Stale heavy hitters therefore linger, which is the
+// behavioural difference the paper calls out in §II-B.
+type H2O struct {
+	Ratio  float64
+	layers [][]float64 // cumulative attention sum per position
+}
+
+// NewH2O returns a heavy-hitter policy with the given caching ratio.
+func NewH2O(ratio float64, layers int) *H2O {
+	return &H2O{Ratio: ratio, layers: make([][]float64, layers)}
+}
+
+// Name implements Policy.
+func (p *H2O) Name() string { return "h2o" }
+
+// Select implements Policy: last-k recents plus top-k cumulative scorers.
+func (p *H2O) Select(layer, n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	k := int(math.Floor(float64(n)*p.Ratio/2 + 0.5))
+	if k < 1 {
+		k = 1
+	}
+	if 2*k > n {
+		k = n / 2
+		if k < 1 {
+			k = 1
+		}
+	}
+	localStart := n - k
+	local := ascending(localStart, n)
+	if localStart == 0 {
+		return local
+	}
+	sums := p.layers[layer]
+	scores := make([]float32, localStart)
+	for pos := 0; pos < localStart && pos < len(sums); pos++ {
+		scores[pos] = float32(sums[pos])
+	}
+	g := k
+	if g > localStart {
+		g = localStart
+	}
+	global := tensor.ArgTopK(scores, g)
+	sortInts(global)
+	return append(global, local...)
+}
+
+// Observe implements Policy, accumulating into the global sums.
+func (p *H2O) Observe(layer int, indices []int, weights []float64) {
+	sums := p.layers[layer]
+	for i, pos := range indices {
+		for len(sums) <= pos {
+			sums = append(sums, 0)
+		}
+		sums[pos] += weights[i]
+	}
+	p.layers[layer] = sums
+}
+
+func ascending(from, to int) []int {
+	if to <= from {
+		return nil
+	}
+	idx := make([]int, to-from)
+	for i := range idx {
+		idx[i] = from + i
+	}
+	return idx
+}
+
+func reverse(v []int) {
+	for i, j := 0, len(v)-1; i < j; i, j = i+1, j-1 {
+		v[i], v[j] = v[j], v[i]
+	}
+}
+
+// sortInts is insertion sort: selection lists are short and nearly sorted,
+// and avoiding package sort keeps this hot path allocation-free.
+func sortInts(v []int) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

@@ -1,0 +1,323 @@
+// Package cachepolicy quantifies the paper's §III-B caching argument:
+// Belady's algorithm would be the optimal policy for deciding which KV
+// tensors stay in GPU memory, but it needs future knowledge, so ALISA
+// ships a heuristic ("keep the locally static tokens in the GPU, store the
+// preceding ones in the CPU") that is claimed to "effectively reduce the
+// potential CPU memory access".
+//
+// This package makes that claim measurable. A Trace is the sequence of
+// per-step token-request sets produced by running a sparse-attention
+// policy; a cache simulator replays the trace against a fixed-capacity
+// fast tier under interchangeable eviction policies — clairvoyant Belady
+// as the lower bound, LRU and FIFO as classical references, and ALISA's
+// window-plus-recent-score heuristic — counting misses (CPU fetches).
+package cachepolicy
+
+import (
+	"fmt"
+
+	"repro/internal/attention"
+	"repro/internal/oracle"
+)
+
+// Trace is a sequence of request sets over a growing token population:
+// token t is born at step t and Requests[t] lists the token indices step
+// t's attention touched (including t itself).
+type Trace struct {
+	Requests [][]int
+}
+
+// Steps returns the trace length.
+func (t *Trace) Steps() int { return len(t.Requests) }
+
+// TraceFromPolicy runs an attention policy over an oracle process and
+// records which tokens each step actually touched — the request stream a
+// KV cache must serve.
+func TraceFromPolicy(spec oracle.Spec, pol attention.Policy, steps int) *Trace {
+	proc := oracle.New(spec)
+	tr := &Trace{Requests: make([][]int, 0, steps)}
+	for t := 0; t < steps; t++ {
+		rows := proc.Next()
+		sel := pol.Select(0, t)
+		indices, weights := oracle.MaskRow(rows[0], sel)
+		pol.Observe(0, indices, weights)
+		tr.Requests = append(tr.Requests, indices)
+	}
+	return tr
+}
+
+// Evictor decides which cached token leaves when the fast tier is full.
+type Evictor interface {
+	Name() string
+	// Touch notifies the evictor that token tok was requested at step.
+	Touch(step, tok int)
+	// Insert notifies that token tok entered the cache at step.
+	Insert(step, tok int)
+	// Victim picks the token to evict from cached (non-empty); step is
+	// the current step.
+	Victim(step int, cached []int) int
+}
+
+// Result summarises one replay.
+type Result struct {
+	Policy   string
+	Capacity int
+	Requests int
+	Misses   int
+}
+
+// MissRate returns misses per request.
+func (r Result) MissRate() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.Misses) / float64(r.Requests)
+}
+
+// Replay serves the trace from a fast tier of the given token capacity
+// under the evictor's policy. Each step: requested tokens not in the tier
+// count as misses and are brought in (evicting victims as needed, but
+// never tokens requested this same step); the newborn token is inserted
+// last, matching the KV production order of a decode step.
+func Replay(tr *Trace, capacity int, ev Evictor) Result {
+	if capacity < 2 {
+		panic(fmt.Sprintf("cachepolicy: capacity must be ≥ 2, got %d", capacity))
+	}
+	cached := make(map[int]bool, capacity)
+	res := Result{Policy: ev.Name(), Capacity: capacity}
+
+	pinned := make(map[int]bool)
+	evictOne := func(step int) {
+		candidates := make([]int, 0, len(cached))
+		for tok := range cached {
+			if !pinned[tok] {
+				candidates = append(candidates, tok)
+			}
+		}
+		if len(candidates) == 0 {
+			// Everything cached is needed this step; the request set
+			// exceeds capacity and the overflow simply streams through.
+			return
+		}
+		victim := ev.Victim(step, candidates)
+		delete(cached, victim)
+	}
+	insert := func(step, tok int) {
+		for len(cached) >= capacity {
+			before := len(cached)
+			evictOne(step)
+			if len(cached) == before {
+				return // nothing evictable; stream instead of caching
+			}
+		}
+		cached[tok] = true
+		ev.Insert(step, tok)
+	}
+
+	for step, req := range tr.Requests {
+		newborn := step
+		for k := range pinned {
+			delete(pinned, k)
+		}
+		for _, tok := range req {
+			pinned[tok] = true
+		}
+		for _, tok := range req {
+			if tok == newborn {
+				continue // produced this step, not served from cache
+			}
+			res.Requests++
+			ev.Touch(step, tok)
+			if !cached[tok] {
+				res.Misses++
+				insert(step, tok)
+			}
+		}
+		insert(step, newborn)
+	}
+	return res
+}
+
+// FIFO evicts the oldest inserted token.
+type FIFO struct {
+	inserted map[int]int
+}
+
+// NewFIFO returns a first-in-first-out evictor.
+func NewFIFO() *FIFO { return &FIFO{inserted: map[int]int{}} }
+
+// Name implements Evictor.
+func (f *FIFO) Name() string { return "fifo" }
+
+// Touch implements Evictor (no-op).
+func (f *FIFO) Touch(int, int) {}
+
+// Insert implements Evictor.
+func (f *FIFO) Insert(step, tok int) { f.inserted[tok] = step }
+
+// Victim implements Evictor.
+func (f *FIFO) Victim(_ int, cached []int) int {
+	best, bestStep := cached[0], int(^uint(0)>>1)
+	for _, tok := range cached {
+		if s := f.inserted[tok]; s < bestStep || (s == bestStep && tok < best) {
+			best, bestStep = tok, s
+		}
+	}
+	return best
+}
+
+// LRU evicts the least recently requested token.
+type LRU struct {
+	last map[int]int
+}
+
+// NewLRU returns a least-recently-used evictor.
+func NewLRU() *LRU { return &LRU{last: map[int]int{}} }
+
+// Name implements Evictor.
+func (l *LRU) Name() string { return "lru" }
+
+// Touch implements Evictor.
+func (l *LRU) Touch(step, tok int) { l.last[tok] = step }
+
+// Insert implements Evictor.
+func (l *LRU) Insert(step, tok int) {
+	if _, ok := l.last[tok]; !ok {
+		l.last[tok] = step
+	}
+}
+
+// Victim implements Evictor.
+func (l *LRU) Victim(_ int, cached []int) int {
+	best, bestStep := cached[0], int(^uint(0)>>1)
+	for _, tok := range cached {
+		if s := l.last[tok]; s < bestStep || (s == bestStep && tok < best) {
+			best, bestStep = tok, s
+		}
+	}
+	return best
+}
+
+// Belady evicts the token whose next request lies farthest in the future —
+// the clairvoyant optimum the paper rules out as impractical ("this oracle
+// algorithm assumes future knowledge", §III-B).
+type Belady struct {
+	// nextUse[tok] holds the ascending request steps of tok.
+	uses map[int][]int
+}
+
+// NewBelady builds the oracle evictor from the full trace.
+func NewBelady(tr *Trace) *Belady {
+	uses := make(map[int][]int)
+	for step, req := range tr.Requests {
+		for _, tok := range req {
+			uses[tok] = append(uses[tok], step)
+		}
+	}
+	return &Belady{uses: uses}
+}
+
+// Name implements Evictor.
+func (b *Belady) Name() string { return "belady" }
+
+// Touch implements Evictor (the use lists already contain the future).
+func (b *Belady) Touch(int, int) {}
+
+// Insert implements Evictor (no-op).
+func (b *Belady) Insert(int, int) {}
+
+// Victim implements Evictor: farthest next use, never-again first.
+func (b *Belady) Victim(step int, cached []int) int {
+	best, bestNext := -1, -1
+	for _, tok := range cached {
+		next := b.nextUse(step, tok)
+		if next > bestNext || (next == bestNext && tok < best) {
+			best, bestNext = tok, next
+		}
+	}
+	return best
+}
+
+func (b *Belady) nextUse(step, tok int) int {
+	const never = int(^uint(0) >> 1)
+	for _, s := range b.uses[tok] {
+		if s > step {
+			return s
+		}
+	}
+	return never
+}
+
+// AlisaHeuristic is the paper's practical policy: the locally static
+// window (the newest tokens) is never evicted, and among the rest the
+// token with the smallest recent-use count goes first — the cache-level
+// mirror of SWA's local attention sum.
+type AlisaHeuristic struct {
+	// Window is the protected local-window size.
+	Window int
+	// HistoryLen bounds the recent-use horizon.
+	HistoryLen int
+
+	touches map[int][]int
+}
+
+// NewAlisaHeuristic returns the window+recent-score evictor.
+func NewAlisaHeuristic(window, historyLen int) *AlisaHeuristic {
+	if window < 0 || historyLen <= 0 {
+		panic(fmt.Sprintf("cachepolicy: bad heuristic parameters %d/%d", window, historyLen))
+	}
+	return &AlisaHeuristic{Window: window, HistoryLen: historyLen, touches: map[int][]int{}}
+}
+
+// Name implements Evictor.
+func (a *AlisaHeuristic) Name() string { return "alisa" }
+
+// Touch implements Evictor.
+func (a *AlisaHeuristic) Touch(step, tok int) {
+	hist := append(a.touches[tok], step)
+	if len(hist) > a.HistoryLen {
+		hist = hist[len(hist)-a.HistoryLen:]
+	}
+	a.touches[tok] = hist
+}
+
+// Insert implements Evictor (no-op; newborn tokens earn scores by use).
+func (a *AlisaHeuristic) Insert(int, int) {}
+
+// Victim implements Evictor.
+func (a *AlisaHeuristic) Victim(step int, cached []int) int {
+	horizon := step - a.HistoryLen
+	best, bestScore, bestTok := -1, int(^uint(0)>>1), -1
+	for _, tok := range cached {
+		if tok >= step-a.Window {
+			continue // locally static: protected
+		}
+		score := 0
+		for _, s := range a.touches[tok] {
+			if s >= horizon {
+				score++
+			}
+		}
+		if score < bestScore || (score == bestScore && tok < bestTok) {
+			best, bestScore, bestTok = tok, score, tok
+		}
+	}
+	if best < 0 {
+		// Everything unprotected is inside the window; fall back to the
+		// oldest cached token.
+		for _, tok := range cached {
+			if best < 0 || tok < best {
+				best = tok
+			}
+		}
+	}
+	return best
+}
+
+// interface checks
+var (
+	_ Evictor = (*FIFO)(nil)
+	_ Evictor = (*LRU)(nil)
+	_ Evictor = (*Belady)(nil)
+	_ Evictor = (*AlisaHeuristic)(nil)
+)

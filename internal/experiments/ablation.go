@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/attention"
+	"repro/internal/model"
+	"repro/internal/numeric"
+	"repro/internal/oracle"
+	"repro/internal/textfmt"
+)
+
+// ScoringRow compares token-importance scoring signals at one sparsity.
+type ScoringRow struct {
+	Policy     string
+	KVSparsity float64
+	Recall     float64
+	Spearman   float64
+}
+
+// ScoringResult is the design-choice ablation behind SWA's local attention
+// sum (DESIGN.md §4.1): the same budget allocated by recency (local),
+// stride, cumulative attention sum (H2O), and ALISA's local sum, measured
+// on a drifting-hitter process where stale heavy hitters are the failure
+// mode the paper attributes to H2O (§II-B).
+type ScoringResult struct {
+	Rows []ScoringRow
+}
+
+// AblationScoring sweeps the scoring signals across sparsities.
+func AblationScoring() (*ScoringResult, error) {
+	const steps = 320
+	spec := oracle.SpecForModel(model.MustByName("opt-6.7b"), 1234)
+	spec.Layers = 4
+	// Faster hitter turnover stresses the stale-hitter distinction.
+	spec.HitterLifetime = 24
+
+	res := &ScoringResult{}
+	for _, sparsity := range []float64{0.6, 0.8, 0.9} {
+		ratio := 1 - sparsity
+		policies := []attention.Policy{
+			attention.NewLocal(ratio),
+			attention.NewStrided(ratio),
+			attention.NewH2O(ratio, spec.Layers),
+			attention.NewSWA(ratio, spec.Layers),
+		}
+		for _, pol := range policies {
+			ev := oracle.Evaluate(spec, pol, steps)
+			rho, err := ev.SpearmanVsDense()
+			if err != nil {
+				return nil, fmt.Errorf("ablation %s: %w", pol.Name(), err)
+			}
+			res.Rows = append(res.Rows, ScoringRow{
+				Policy:     pol.Name(),
+				KVSparsity: sparsity,
+				Recall:     ev.MeanRecall,
+				Spearman:   rho,
+			})
+		}
+	}
+	return res, nil
+}
+
+// Render implements Renderer.
+func (r *ScoringResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Ablation — token-importance scoring signals (drifting-hitter process)\n\n")
+	tb := textfmt.NewTable("KV sparsity", "policy", "mass recall", "Spearman ρ")
+	for _, row := range r.Rows {
+		tb.AddRow(fmt.Sprintf("%.0f%%", row.KVSparsity*100), row.Policy,
+			fmt.Sprintf("%.3f", row.Recall), fmt.Sprintf("%.3f", row.Spearman))
+	}
+	b.WriteString(tb.String())
+	return b.String()
+}
+
+// NumericRow is one live-tensor validation point.
+type NumericRow struct {
+	Policy       string
+	KVBits       int
+	LogitCosine  float64
+	TopAgreement float64
+	NLLDelta     float64 // policy NLL − dense NLL
+}
+
+// NumericResult cross-validates the accuracy orderings on the runnable
+// decoder (real softmax attention), including quantized KV storage.
+type NumericResult struct {
+	Tokens int
+	Rows   []NumericRow
+}
+
+// AblationNumeric runs dense/local/SWA/ALISA(+INT8/+INT4) on live tensors.
+func AblationNumeric() (*NumericResult, error) {
+	const tokens = 96
+	cfg := model.SmallConfig()
+	cases := []struct {
+		name   string
+		policy attention.Policy
+		bits   int
+	}{
+		{"dense", nil, 0},
+		{"dense+int8", nil, 8},
+		{"local", attention.NewLocal(0.4), 0},
+		{"swa", attention.NewSWA(0.4, cfg.Layers), 0},
+		{"swa+int8", attention.NewSWA(0.4, cfg.Layers), 8},
+		{"swa+int4", attention.NewSWA(0.4, cfg.Layers), 4},
+	}
+	res := &NumericResult{Tokens: tokens}
+	for _, c := range cases {
+		rep, err := numeric.Compare(numeric.Config{
+			ModelSeed: 11, DataSeed: 12, Tokens: tokens,
+			Policy: c.policy, KVBits: c.bits,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("numeric ablation %s: %w", c.name, err)
+		}
+		res.Rows = append(res.Rows, NumericRow{
+			Policy:       c.name,
+			KVBits:       c.bits,
+			LogitCosine:  rep.LogitCosine,
+			TopAgreement: rep.TopAgreement,
+			NLLDelta:     rep.MeanNLL - rep.DenseNLL,
+		})
+	}
+	return res, nil
+}
+
+// Render implements Renderer.
+func (r *NumericResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Numeric cross-validation — live decoder, %d-token stream, 60%% KV sparsity\n\n", r.Tokens)
+	tb := textfmt.NewTable("configuration", "logit cosine", "top-1 agreement", "ΔNLL vs dense")
+	for _, row := range r.Rows {
+		tb.AddRow(row.Policy,
+			fmt.Sprintf("%.4f", row.LogitCosine),
+			fmt.Sprintf("%.3f", row.TopAgreement),
+			fmt.Sprintf("%+.4f", row.NLLDelta))
+	}
+	b.WriteString(tb.String())
+	return b.String()
+}

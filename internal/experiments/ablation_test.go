@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestAblationScoringOrdering(t *testing.T) {
+	r, err := AblationScoring()
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(sp float64, policy string) ScoringRow {
+		for _, row := range r.Rows {
+			if row.KVSparsity == sp && row.Policy == policy {
+				return row
+			}
+		}
+		t.Fatalf("missing %v/%s", sp, policy)
+		return ScoringRow{}
+	}
+	for _, sp := range []float64{0.6, 0.8, 0.9} {
+		local := get(sp, "local")
+		strided := get(sp, "strided")
+		h2o := get(sp, "h2o")
+		swa := get(sp, "swa")
+		// Learned scoring beats fixed patterns.
+		if !(h2o.Recall > local.Recall && h2o.Recall > strided.Recall) {
+			t.Errorf("sparsity %.0f%%: H2O should beat fixed patterns: %+v vs %+v/%+v", sp*100, h2o, local, strided)
+		}
+		// ALISA's local sum beats the cumulative sum on a drifting
+		// process — the §II-B design choice.
+		if swa.Recall <= h2o.Recall {
+			t.Errorf("sparsity %.0f%%: SWA recall %.3f should beat H2O %.3f on drifting hitters",
+				sp*100, swa.Recall, h2o.Recall)
+		}
+	}
+	if !strings.Contains(r.Render(), "h2o") {
+		t.Error("render missing policies")
+	}
+}
+
+func TestAblationNumericShape(t *testing.T) {
+	r, err := AblationNumeric()
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(name string) NumericRow {
+		for _, row := range r.Rows {
+			if row.Policy == name {
+				return row
+			}
+		}
+		t.Fatalf("missing %s", name)
+		return NumericRow{}
+	}
+	if get("dense").LogitCosine < 0.999 {
+		t.Error("dense self-reference should be exact")
+	}
+	if get("swa").LogitCosine <= get("local").LogitCosine {
+		t.Errorf("SWA %.4f should track dense better than local %.4f on live tensors",
+			get("swa").LogitCosine, get("local").LogitCosine)
+	}
+	// INT8 on top of SWA costs almost nothing; INT4 costs more.
+	swaDelta := get("swa+int8").LogitCosine - get("swa").LogitCosine
+	if swaDelta < -0.02 {
+		t.Errorf("INT8 should be nearly free on top of SWA, cost %.4f", -swaDelta)
+	}
+	if get("swa+int4").LogitCosine > get("swa+int8").LogitCosine+1e-9 {
+		t.Error("INT4 should not beat INT8")
+	}
+}
+
+func TestAblationCachingOrdering(t *testing.T) {
+	r, err := AblationCaching()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCap := map[int]map[string]CachingRow{}
+	for _, row := range r.Rows {
+		if byCap[row.Capacity] == nil {
+			byCap[row.Capacity] = map[string]CachingRow{}
+		}
+		byCap[row.Capacity][row.Policy] = row
+	}
+	for capacity, rows := range byCap {
+		belady := rows["belady"]
+		alisa := rows["alisa"]
+		fifo := rows["fifo"]
+		if !(belady.Misses <= alisa.Misses && alisa.Misses <= fifo.Misses) {
+			t.Errorf("capacity %d: belady %d ≤ alisa %d ≤ fifo %d violated",
+				capacity, belady.Misses, alisa.Misses, fifo.Misses)
+		}
+	}
+	// Larger caches miss less under every policy.
+	caps := make([]int, 0, len(byCap))
+	for c := range byCap {
+		caps = append(caps, c)
+	}
+	sort.Ints(caps)
+	for _, policy := range []string{"belady", "alisa", "lru", "fifo"} {
+		if byCap[caps[len(caps)-1]][policy].Misses > byCap[caps[0]][policy].Misses {
+			t.Errorf("%s: largest cache misses more than smallest", policy)
+		}
+	}
+	if !strings.Contains(r.Render(), "belady") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestAblationEvictionOrdering(t *testing.T) {
+	r, err := AblationEviction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(sp float64, order string) EvictionRow {
+		for _, row := range r.Rows {
+			if row.KVSparsity == sp && strings.HasPrefix(row.Order, order) {
+				return row
+			}
+		}
+		t.Fatalf("missing %v/%s", sp, order)
+		return EvictionRow{}
+	}
+	for _, sp := range []float64{0.6, 0.8} {
+		keep := get(sp, "keep-local")
+		inverted := get(sp, "inverted")
+		if keep.Throughput <= inverted.Throughput {
+			t.Errorf("sparsity %.0f%%: keep-local %.1f should beat inverted %.1f",
+				sp*100, keep.Throughput, inverted.Throughput)
+		}
+		if keep.TransferS >= inverted.TransferS {
+			t.Errorf("sparsity %.0f%%: keep-local should move fewer bytes", sp*100)
+		}
+	}
+	if !strings.Contains(r.Render(), "keep-local") {
+		t.Error("render incomplete")
+	}
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtensionInt4Shape(t *testing.T) {
+	r, err := ExtensionInt4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(model string, bits int) Int4Row {
+		for _, row := range r.Rows {
+			if row.Model == model && row.KVBits == bits {
+				return row
+			}
+		}
+		t.Fatalf("missing %s/INT%d", model, bits)
+		return Int4Row{}
+	}
+	for _, m := range []string{"opt-6.7b", "opt-30b"} {
+		fp16 := get(m, 16)
+		int8 := get(m, 8)
+		int4 := get(m, 4)
+		// Narrower KV means less traffic and at least as much throughput.
+		if !(int8.Throughput > fp16.Throughput) {
+			t.Errorf("%s: INT8 %.1f should beat FP16 %.1f", m, int8.Throughput, fp16.Throughput)
+		}
+		if int4.Throughput < int8.Throughput {
+			t.Errorf("%s: INT4 %.1f should not lose to INT8 %.1f", m, int4.Throughput, int8.Throughput)
+		}
+		if !(int4.TransferS <= int8.TransferS && int8.TransferS <= fp16.TransferS) {
+			t.Errorf("%s: transfer time should shrink with precision: %v, %v, %v",
+				m, fp16.TransferS, int8.TransferS, int4.TransferS)
+		}
+	}
+	if !strings.Contains(r.Render(), "INT4") {
+		t.Error("render missing precision labels")
+	}
+}

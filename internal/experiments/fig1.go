@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/memsim"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/textfmt"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Fig1Row is one bar group of Fig. 1: a workload × KV placement, with the
+// time breakdown (MHA / FFN / memory access) and memory breakdown
+// (weights / activations / KV) the paper plots, or an OOM marker.
+type Fig1Row struct {
+	Workload  workload.Spec
+	Placement string // "GPU only", "50% CPU", "100% CPU"
+
+	OOM bool
+
+	MHASeconds      float64
+	FFNSeconds      float64
+	MemAccessSecond float64
+	TotalSeconds    float64
+
+	WeightBytes     int64
+	ActivationBytes int64
+	KVGPUBytes      int64
+	KVCPUBytes      int64
+}
+
+// Fig1Result reproduces Fig. 1.
+type Fig1Result struct {
+	Profile memsim.Profile
+	Model   model.Config
+	Rows    []Fig1Row
+}
+
+// Fig1 runs OPT-6.7B on a V100-32G under the two motivation workloads
+// with KV placed GPU-only, 50 % on CPU, and 100 % on CPU (streamed over
+// PCIe, as the paper measures with FlexGen).
+func Fig1() (*Fig1Result, error) {
+	prof := memsim.V100_32G()
+	cfg := model.MustByName("opt-6.7b")
+	res := &Fig1Result{Profile: prof, Model: cfg}
+
+	placements := []struct {
+		name  string
+		sched func() sched.Scheduler
+	}{
+		{"GPU only", func() sched.Scheduler { return sched.NewGPUOnly() }},
+		{"50% CPU", func() sched.Scheduler { return sched.NewPCIeSplit(0.5) }},
+		{"100% CPU", func() sched.Scheduler { return sched.NewPCIeSplit(1.0) }},
+	}
+
+	for _, wl := range workload.Fig1Workloads() {
+		for _, pl := range placements {
+			run := core.Config{
+				Model: cfg, Profile: prof, Scheduler: pl.sched(),
+				Batch: wl.Batch, Input: wl.Input, Output: wl.Output,
+				KVSparsity: 0, KVBits: 16,
+			}
+			row := Fig1Row{
+				Workload:        wl,
+				Placement:       pl.name,
+				WeightBytes:     cfg.WeightBytes(2),
+				ActivationBytes: cfg.ActivationBytes(wl.Batch, 2),
+			}
+			out, err := core.Run(run)
+			if err != nil {
+				if out != nil && out.OOM {
+					row.OOM = true
+					res.Rows = append(res.Rows, row)
+					continue
+				}
+				return nil, fmt.Errorf("fig1 %s/%s: %w", wl.Name, pl.name, err)
+			}
+			row.MHASeconds = out.Breakdown.Get(trace.CatMHA) + out.Breakdown.Get(trace.CatPrefill)
+			row.FFNSeconds = out.Breakdown.Get(trace.CatFFN)
+			row.MemAccessSecond = out.Breakdown.Get(trace.CatTransfer)
+			row.TotalSeconds = out.TotalSeconds
+			row.KVGPUBytes = out.Memory.PeakGPU() - row.WeightBytes - row.ActivationBytes - prof.ReserveBytes
+			row.KVCPUBytes = out.Memory.PeakCPU()
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	if len(res.Rows) == 0 {
+		return nil, errors.New("fig1: no rows produced")
+	}
+	return res, nil
+}
+
+// Render implements Renderer.
+func (r *Fig1Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 1 — %s inference on %s (FlexGen-style placement)\n\n", r.Model.Name, r.Profile.Name)
+	tb := textfmt.NewTable("workload", "placement", "MHA", "FFN", "mem access", "total",
+		"weights", "activations", "KV gpu", "KV cpu")
+	for _, row := range r.Rows {
+		if row.OOM {
+			tb.AddRow(row.Workload.String(), row.Placement, "OOM", "-", "-", "-",
+				textfmt.Bytes(row.WeightBytes), textfmt.Bytes(row.ActivationBytes), "-", "-")
+			continue
+		}
+		tb.AddRow(row.Workload.String(), row.Placement,
+			textfmt.Seconds(row.MHASeconds), textfmt.Seconds(row.FFNSeconds),
+			textfmt.Seconds(row.MemAccessSecond), textfmt.Seconds(row.TotalSeconds),
+			textfmt.Bytes(row.WeightBytes), textfmt.Bytes(row.ActivationBytes),
+			textfmt.Bytes(row.KVGPUBytes), textfmt.Bytes(row.KVCPUBytes))
+	}
+	b.WriteString(tb.String())
+	return b.String()
+}

@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/textfmt"
+	"repro/internal/workload"
+)
+
+// fig12Workload is the configuration of all Fig. 12 panels: OPT-30B,
+// batch 64, input 128, output 512, one H100.
+func fig12Workload() (model.Config, workload.Spec) {
+	return model.MustByName("opt-30b"), workload.Alpaca(64)
+}
+
+// Fig12aPhase is one phase bar of Fig. 12(a).
+type Fig12aPhase struct {
+	Phase   int
+	EndStep int // sequence position at the end of the phase
+	Seconds float64
+	GPUPeak int64
+	CPUPeak int64
+}
+
+// Fig12aRow is one system × sparsity group.
+type Fig12aRow struct {
+	System     string
+	KVSparsity float64
+	Phases     []Fig12aPhase
+	Total      float64
+}
+
+// Fig12aResult reproduces Fig. 12(a): execution time and memory usage by
+// scheduling phase for FlexGen and ALISA at several KV sparsities.
+type Fig12aResult struct {
+	Rows []Fig12aRow
+}
+
+// Fig12a runs ALISA at 40/60/80 % sparsity plus the FlexGen reference and
+// aggregates per-phase times and memory peaks.
+func Fig12a() (*Fig12aResult, error) {
+	mc, spec := fig12Workload()
+	prof := PaperProfile(mc)
+	res := &Fig12aResult{}
+
+	// FlexGen reference: no phases; reported as one bar.
+	fgRun, err := core.Run(core.Config{
+		Model: mc, Profile: prof, Scheduler: sched.NewFlexGen(),
+		Batch: spec.Batch, Input: spec.Input, Output: spec.Output,
+		KVSparsity: 0, KVBits: 16,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fig12a flexgen: %w", err)
+	}
+	res.Rows = append(res.Rows, Fig12aRow{
+		System: "flexgen", KVSparsity: 0, Total: fgRun.TotalSeconds,
+		Phases: []Fig12aPhase{{
+			Phase: 1, EndStep: spec.Input + spec.Output,
+			Seconds: fgRun.TotalSeconds,
+			GPUPeak: fgRun.Memory.PeakGPU(), CPUPeak: fgRun.Memory.PeakCPU(),
+		}},
+	})
+
+	for _, sparsity := range []float64{0.4, 0.6, 0.8} {
+		// FP16 KV: INT8 compression joins only in the Fig. 12(c) ablation.
+		out, err := core.Run(core.Config{
+			Model: mc, Profile: prof, Scheduler: sched.NewAlisa(),
+			Batch: spec.Batch, Input: spec.Input, Output: spec.Output,
+			KVSparsity: sparsity, KVBits: 16,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig12a alisa %.0f%%: %w", sparsity*100, err)
+		}
+		row := Fig12aRow{System: "alisa", KVSparsity: sparsity, Total: out.TotalSeconds}
+		for phase := 1; phase <= 3; phase++ {
+			var ph Fig12aPhase
+			ph.Phase = phase
+			seen := false
+			for j, p := range out.PhaseOf {
+				if p != phase {
+					continue
+				}
+				seen = true
+				ph.Seconds += out.Steps[j].Seconds
+				ph.EndStep = spec.Input + j + 1
+				if m, ok := out.Memory.At(j); ok {
+					if m.GPUBytes > ph.GPUPeak {
+						ph.GPUPeak = m.GPUBytes
+					}
+					if m.CPUBytes > ph.CPUPeak {
+						ph.CPUPeak = m.CPUBytes
+					}
+				}
+			}
+			if seen {
+				row.Phases = append(row.Phases, ph)
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render implements Renderer.
+func (r *Fig12aResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 12(a) — OPT-30B (b=64, s=128, n=512) on H100: time and memory by phase\n\n")
+	tb := textfmt.NewTable("system", "KV sparsity", "phase", "end seq", "time", "GPU peak", "CPU peak")
+	for _, row := range r.Rows {
+		for _, ph := range row.Phases {
+			tb.AddRow(row.System,
+				fmt.Sprintf("%.0f%%", row.KVSparsity*100),
+				fmt.Sprint(ph.Phase), fmt.Sprint(ph.EndStep),
+				textfmt.Seconds(ph.Seconds),
+				textfmt.Bytes(ph.GPUPeak), textfmt.Bytes(ph.CPUPeak))
+		}
+		tb.AddRow(row.System, fmt.Sprintf("%.0f%%", row.KVSparsity*100), "all", "",
+			textfmt.Seconds(row.Total), "", "")
+	}
+	b.WriteString(tb.String())
+	return b.String()
+}
+
+// Fig12bRow is one sparsity point of Fig. 12(b).
+type Fig12bRow struct {
+	KVSparsity       float64
+	WithRecompute    float64
+	WithoutRecompute float64
+	Speedup          float64
+}
+
+// Fig12bResult reproduces Fig. 12(b): the effect of Phase III
+// recomputation on total execution time.
+type Fig12bResult struct {
+	Rows []Fig12bRow
+}
+
+// Fig12b toggles recomputation at each sparsity.
+func Fig12b() (*Fig12bResult, error) {
+	mc, spec := fig12Workload()
+	prof := PaperProfile(mc)
+	res := &Fig12bResult{}
+	for _, sparsity := range []float64{0.4, 0.6, 0.8} {
+		base := core.Config{
+			Model: mc, Profile: prof,
+			Batch: spec.Batch, Input: spec.Input, Output: spec.Output,
+			KVSparsity: sparsity, KVBits: 16,
+		}
+		withCfg := base
+		withCfg.Scheduler = sched.NewAlisa()
+		with, err := core.Run(withCfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig12b with: %w", err)
+		}
+		withoutCfg := base
+		withoutCfg.Scheduler = sched.NewAlisaManual(0, spec.Output, false)
+		without, err := core.Run(withoutCfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig12b without: %w", err)
+		}
+		res.Rows = append(res.Rows, Fig12bRow{
+			KVSparsity:       sparsity,
+			WithRecompute:    with.TotalSeconds,
+			WithoutRecompute: without.TotalSeconds,
+			Speedup:          without.TotalSeconds / with.TotalSeconds,
+		})
+	}
+	return res, nil
+}
+
+// Render implements Renderer.
+func (r *Fig12bResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 12(b) — impact of recomputation at full sequence length\n\n")
+	tb := textfmt.NewTable("KV sparsity", "with recompute", "without", "speedup")
+	for _, row := range r.Rows {
+		tb.AddRow(fmt.Sprintf("%.0f%%", row.KVSparsity*100),
+			textfmt.Seconds(row.WithRecompute), textfmt.Seconds(row.WithoutRecompute),
+			fmt.Sprintf("%.2fx", row.Speedup))
+	}
+	b.WriteString(tb.String())
+	return b.String()
+}
+
+// Fig12cRow is one technique-accumulation point of Fig. 12(c).
+type Fig12cRow struct {
+	KVSparsity float64
+	Variant    string // flexgen, +swa, +ds, +int8
+	Throughput float64
+}
+
+// Fig12cResult reproduces Fig. 12(c): the ablation of SWA, dynamic
+// scheduling (DS) and INT8 KV compression, accumulated left to right.
+type Fig12cResult struct {
+	Rows []Fig12cRow
+}
+
+// Fig12c stacks the three techniques on the FlexGen baseline.
+func Fig12c() (*Fig12cResult, error) {
+	mc, spec := fig12Workload()
+	prof := PaperProfile(mc)
+	res := &Fig12cResult{}
+	for _, sparsity := range []float64{0.4, 0.6, 0.8} {
+		variants := []struct {
+			name      string
+			scheduler sched.Scheduler
+			sparsity  float64
+			bits      int
+		}{
+			{"flexgen", sched.NewFlexGen(), 0, 16},
+			{"+swa", sched.NewFlexGen(), sparsity, 16},
+			{"+ds", sched.NewAlisa(), sparsity, 16},
+			{"+int8", sched.NewAlisa(), sparsity, 8},
+		}
+		for _, v := range variants {
+			out, err := core.Run(core.Config{
+				Model: mc, Profile: prof, Scheduler: v.scheduler,
+				Batch: spec.Batch, Input: spec.Input, Output: spec.Output,
+				KVSparsity: v.sparsity, KVBits: v.bits,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig12c %s: %w", v.name, err)
+			}
+			res.Rows = append(res.Rows, Fig12cRow{
+				KVSparsity: sparsity, Variant: v.name, Throughput: out.Throughput,
+			})
+		}
+	}
+	return res, nil
+}
+
+// Render implements Renderer.
+func (r *Fig12cResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 12(c) — ablation (tokens/s); techniques accumulate left to right\n\n")
+	tb := textfmt.NewTable("KV sparsity", "flexgen", "+swa", "+ds", "+int8")
+	for _, sparsity := range []float64{0.4, 0.6, 0.8} {
+		row := []string{fmt.Sprintf("%.0f%%", sparsity*100)}
+		for _, variant := range []string{"flexgen", "+swa", "+ds", "+int8"} {
+			for _, c := range r.Rows {
+				if c.KVSparsity == sparsity && c.Variant == variant {
+					row = append(row, fmt.Sprintf("%.1f", c.Throughput))
+				}
+			}
+		}
+		tb.AddRow(row...)
+	}
+	b.WriteString(tb.String())
+	return b.String()
+}

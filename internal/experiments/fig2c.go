@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/memsim"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/textfmt"
+)
+
+// Fig2cPoint is one step of the Fig. 2(c) series.
+type Fig2cPoint struct {
+	Step            int
+	CachedSeconds   float64
+	UncachedSeconds float64
+	CachedGPUBytes  int64
+	UncachedGPU     int64
+}
+
+// Fig2cResult reproduces Fig. 2(c): per-step execution time and GPU memory
+// with and without KV caching.
+type Fig2cResult struct {
+	Model  model.Config
+	Points []Fig2cPoint
+}
+
+// Fig2c decodes 128 steps of OPT-6.7B with KV caching (flat time, growing
+// memory) and without (growing time, flat memory).
+func Fig2c() (*Fig2cResult, error) {
+	cfg := model.MustByName("opt-6.7b")
+	prof := memsim.V100_32G()
+	base := core.Config{
+		Model: cfg, Profile: prof,
+		Batch: 8, Input: 32, Output: 128,
+		KVSparsity: 0, KVBits: 16,
+	}
+
+	cached := base
+	cached.Scheduler = sched.NewGPUOnly()
+	cachedRes, err := core.Run(cached)
+	if err != nil {
+		return nil, fmt.Errorf("fig2c cached: %w", err)
+	}
+	uncached := base
+	uncached.Scheduler = sched.NewNoCache()
+	uncachedRes, err := core.Run(uncached)
+	if err != nil {
+		return nil, fmt.Errorf("fig2c uncached: %w", err)
+	}
+
+	res := &Fig2cResult{Model: cfg}
+	for j := 0; j < base.Output; j++ {
+		cm, _ := cachedRes.Memory.At(j)
+		um, _ := uncachedRes.Memory.At(j)
+		res.Points = append(res.Points, Fig2cPoint{
+			Step:            j,
+			CachedSeconds:   cachedRes.Steps[j].Seconds,
+			UncachedSeconds: uncachedRes.Steps[j].Seconds,
+			CachedGPUBytes:  cm.GPUBytes,
+			UncachedGPU:     um.GPUBytes,
+		})
+	}
+	return res, nil
+}
+
+// Render implements Renderer, printing every 16th step like the figure's
+// tick marks.
+func (r *Fig2cResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 2(c) — %s decode: with vs without KV caching\n\n", r.Model.Name)
+	tb := textfmt.NewTable("step", "time w/ cache", "time w/o cache", "GPU mem w/ cache", "GPU mem w/o cache")
+	for _, p := range r.Points {
+		if p.Step%16 != 0 && p.Step != len(r.Points)-1 {
+			continue
+		}
+		tb.AddRow(fmt.Sprint(p.Step),
+			textfmt.Seconds(p.CachedSeconds), textfmt.Seconds(p.UncachedSeconds),
+			textfmt.Bytes(p.CachedGPUBytes), textfmt.Bytes(p.UncachedGPU))
+	}
+	b.WriteString(tb.String())
+	return b.String()
+}

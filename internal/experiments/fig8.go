@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/attention"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/oracle"
+	"repro/internal/textfmt"
+	"repro/internal/workload"
+)
+
+// int8RecallPenalty is the relative attention-mass loss INT8 KV
+// compression adds on top of SWA. Fig. 8's observation is that "the
+// accuracy of ALISA almost perfectly tracks that of SWA", so the penalty
+// is small and constant.
+const int8RecallPenalty = 0.002
+
+// Fig8Config sizes the accuracy sweep.
+type Fig8Config struct {
+	Models     []string
+	Datasets   []string
+	Sparsities []float64
+	Steps      int
+	Layers     int
+}
+
+// DefaultFig8Config covers all eight models, all seven datasets, and the
+// paper's sparsity axis.
+func DefaultFig8Config() Fig8Config {
+	datasets := make([]string, 0, 7)
+	for _, d := range workload.Datasets() {
+		datasets = append(datasets, d.Name)
+	}
+	return Fig8Config{
+		Models:     model.Names(),
+		Datasets:   datasets,
+		Sparsities: []float64{0, 0.2, 0.4, 0.6, 0.8},
+		Steps:      256,
+		Layers:     4,
+	}
+}
+
+// Fig8Cell is one point of Fig. 8: a model × dataset × method × sparsity
+// accuracy measurement.
+type Fig8Cell struct {
+	Model      string
+	Dataset    string
+	Task       string
+	Method     string // dense, local, strided, swa, alisa
+	KVSparsity float64
+	Recall     float64
+	// Metric is perplexity for lm tasks (lower better) and accuracy for
+	// qa tasks (higher better).
+	Metric float64
+}
+
+// Fig8Result reproduces Fig. 8.
+type Fig8Result struct {
+	Config Fig8Config
+	Cells  []Fig8Cell
+}
+
+// Fig8 sweeps KV sparsity for every model × dataset × attention method,
+// mapping attention-mass recall to dataset metrics anchored at published
+// dense baselines. The (model, dataset, sparsity, method) cells are
+// independent, so they evaluate on a bounded worker pool; determinism is
+// preserved because every cell derives its seed from its own coordinates
+// and results are ordered after the fact.
+func Fig8(cfg Fig8Config) (*Fig8Result, error) {
+	type job struct {
+		model    model.Config
+		ds       workload.Dataset
+		dense    float64
+		sparsity float64
+		method   string
+		out      int // index into the results slice
+	}
+
+	var jobs []job
+	for _, modelName := range cfg.Models {
+		mc, err := model.ByName(modelName)
+		if err != nil {
+			return nil, err
+		}
+		for _, dsName := range cfg.Datasets {
+			ds, err := workload.DatasetByName(dsName)
+			if err != nil {
+				return nil, err
+			}
+			dense, err := ds.DenseBaseline(modelName)
+			if err != nil {
+				return nil, err
+			}
+			for _, sparsity := range cfg.Sparsities {
+				for _, method := range []string{"dense", "local", "strided", "swa", "alisa"} {
+					jobs = append(jobs, job{
+						model: mc, ds: ds, dense: dense,
+						sparsity: sparsity, method: method, out: len(jobs),
+					})
+				}
+			}
+		}
+	}
+
+	cells := make([]Fig8Cell, len(jobs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	queue := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range queue {
+				seed := seedFor(j.model.Name, j.ds.Name)
+				recall := methodRecall(j.model, seed, j.method, 1-j.sparsity, cfg)
+				cells[j.out] = Fig8Cell{
+					Model: j.model.Name, Dataset: j.ds.Name, Task: j.ds.Task,
+					Method: j.method, KVSparsity: j.sparsity,
+					Recall: recall,
+					Metric: recallToMetric(j.ds, j.dense, recall),
+				}
+			}
+		}()
+	}
+	for _, j := range jobs {
+		queue <- j
+	}
+	close(queue)
+	wg.Wait()
+	return &Fig8Result{Config: cfg, Cells: cells}, nil
+}
+
+func methodRecall(mc model.Config, seed int64, method string, ratio float64, cfg Fig8Config) float64 {
+	if method == "dense" || ratio >= 1 {
+		if method == "alisa" {
+			return 1 - int8RecallPenalty
+		}
+		return 1
+	}
+	spec := oracle.SpecForModel(mc, seed)
+	spec.Layers = cfg.Layers
+	var pol attention.Policy
+	switch method {
+	case "local":
+		pol = attention.NewLocal(ratio)
+	case "strided":
+		pol = attention.NewStrided(ratio)
+	case "swa", "alisa":
+		pol = attention.NewSWA(ratio, spec.Layers)
+	default:
+		panic(fmt.Sprintf("fig8: unknown method %q", method))
+	}
+	recall := oracle.Evaluate(spec, pol, cfg.Steps).MeanRecall
+	if method == "alisa" {
+		recall *= 1 - int8RecallPenalty
+	}
+	return recall
+}
+
+func recallToMetric(ds workload.Dataset, dense, recall float64) float64 {
+	if ds.Task == "lm" {
+		return metrics.PerplexityProxy(dense, recall)
+	}
+	return metrics.AccuracyProxy(dense, ds.Chance, recall)
+}
+
+func seedFor(parts ...string) int64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return int64(h.Sum64() & 0x7fffffffffffffff)
+}
+
+// Cell returns the measurement for the given coordinates, or false.
+func (r *Fig8Result) Cell(modelName, dataset, method string, sparsity float64) (Fig8Cell, bool) {
+	for _, c := range r.Cells {
+		if c.Model == modelName && c.Dataset == dataset && c.Method == method && c.KVSparsity == sparsity {
+			return c, true
+		}
+	}
+	return Fig8Cell{}, false
+}
+
+// Render implements Renderer, printing each model × dataset panel as a
+// metric-vs-sparsity table.
+func (r *Fig8Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 8 — accuracy under KV sparsity (lm: perplexity ↓, qa: accuracy ↑)\n")
+	for _, modelName := range r.Config.Models {
+		for _, dsName := range r.Config.Datasets {
+			fmt.Fprintf(&b, "\n%s on %s:\n", modelName, dsName)
+			hdr := []string{"method"}
+			for _, sp := range r.Config.Sparsities {
+				hdr = append(hdr, fmt.Sprintf("%.0f%%", sp*100))
+			}
+			tb := textfmt.NewTable(hdr...)
+			for _, method := range []string{"dense", "local", "strided", "swa", "alisa"} {
+				row := []string{method}
+				for _, sp := range r.Config.Sparsities {
+					c, ok := r.Cell(modelName, dsName, method, sp)
+					if !ok {
+						row = append(row, "-")
+						continue
+					}
+					if c.Task == "lm" {
+						row = append(row, formatPPL(c.Metric))
+					} else {
+						row = append(row, fmt.Sprintf("%.3f", c.Metric))
+					}
+				}
+				tb.AddRow(row...)
+			}
+			b.WriteString(tb.String())
+		}
+	}
+	return b.String()
+}
+
+func formatPPL(p float64) string {
+	if p > 1e4 {
+		return ">1e4"
+	}
+	return fmt.Sprintf("%.2f", p)
+}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/memsim"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/textfmt"
+	"repro/internal/workload"
+)
+
+// Fig9Config sizes the throughput sweep.
+type Fig9Config struct {
+	Models  []string
+	Batches []int
+	Systems []string
+	// ALISA settings for the sweep: the paper's 80 % KV sparsity + INT8.
+	KVSparsity float64
+	KVBits     int
+}
+
+// DefaultFig9Config covers the six OPT/LLaMA models of Fig. 9 at the
+// paper's batch sizes against all four baselines.
+func DefaultFig9Config() Fig9Config {
+	return Fig9Config{
+		Models:     []string{"opt-6.7b", "opt-13b", "opt-30b", "llama-7b", "llama-13b", "llama-33b"},
+		Batches:    workload.Fig9Batches(),
+		Systems:    sched.Names(),
+		KVSparsity: 0.8,
+		KVBits:     8,
+	}
+}
+
+// PaperProfile returns the hardware the paper pairs with the model scale:
+// V100-16G for ~7B, V100-32G for ~13B, H100-80G for ≥30B.
+func PaperProfile(cfg model.Config) memsim.Profile {
+	switch {
+	case cfg.Params() > 20e9:
+		return memsim.H100_80G()
+	case cfg.Params() > 10e9:
+		return memsim.V100_32G()
+	default:
+		return memsim.V100_16G()
+	}
+}
+
+// Fig9Cell is one bar of Fig. 9.
+type Fig9Cell struct {
+	Model      string
+	Batch      int
+	System     string
+	Throughput float64 // tokens/s; 0 with OOM set means the OOM marker
+	OOM        bool
+}
+
+// Fig9Result reproduces Fig. 9.
+type Fig9Result struct {
+	Config Fig9Config
+	Cells  []Fig9Cell
+}
+
+// Fig9 sweeps model × batch × system on the Alpaca workload (s=128,
+// n=512). ALISA runs at the configured sparsity and KV precision;
+// baselines run dense FP16, as in the paper.
+func Fig9(cfg Fig9Config) (*Fig9Result, error) {
+	res := &Fig9Result{Config: cfg}
+	for _, modelName := range cfg.Models {
+		mc, err := model.ByName(modelName)
+		if err != nil {
+			return nil, err
+		}
+		prof := PaperProfile(mc)
+		for _, batch := range cfg.Batches {
+			spec := workload.Alpaca(batch)
+			for _, system := range cfg.Systems {
+				s, err := sched.ByName(system)
+				if err != nil {
+					return nil, err
+				}
+				runCfg := core.Config{
+					Model: mc, Profile: prof, Scheduler: s,
+					Batch: spec.Batch, Input: spec.Input, Output: spec.Output,
+					KVSparsity: 0, KVBits: 16,
+				}
+				if system == "alisa" {
+					runCfg.KVSparsity = cfg.KVSparsity
+					runCfg.KVBits = cfg.KVBits
+				}
+				cell := Fig9Cell{Model: modelName, Batch: batch, System: system}
+				out, err := core.Run(runCfg)
+				switch {
+				case err == nil:
+					cell.Throughput = out.Throughput
+				case out != nil && out.OOM:
+					cell.OOM = true
+				default:
+					return nil, fmt.Errorf("fig9 %s/%s/b%d: %w", modelName, system, batch, err)
+				}
+				res.Cells = append(res.Cells, cell)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Cell returns the measurement at the coordinates, or false.
+func (r *Fig9Result) Cell(modelName string, batch int, system string) (Fig9Cell, bool) {
+	for _, c := range r.Cells {
+		if c.Model == modelName && c.Batch == batch && c.System == system {
+			return c, true
+		}
+	}
+	return Fig9Cell{}, false
+}
+
+// Speedup returns ALISA's throughput ratio over the named system at the
+// coordinates; OOM baselines yield +Inf-like large values, absent cells 0.
+func (r *Fig9Result) Speedup(modelName string, batch int, over string) float64 {
+	a, okA := r.Cell(modelName, batch, "alisa")
+	b, okB := r.Cell(modelName, batch, over)
+	if !okA || !okB || b.OOM || b.Throughput == 0 {
+		return 0
+	}
+	return a.Throughput / b.Throughput
+}
+
+// Render implements Renderer.
+func (r *Fig9Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 9 — throughput (tokens/s) on Alpaca (s=128, n=512); ALISA at %.0f%% KV sparsity, INT%d\n",
+		r.Config.KVSparsity*100, r.Config.KVBits)
+	for _, modelName := range r.Config.Models {
+		mc := model.MustByName(modelName)
+		fmt.Fprintf(&b, "\n%s on %s:\n", modelName, PaperProfile(mc).Name)
+		hdr := []string{"system"}
+		for _, batch := range r.Config.Batches {
+			hdr = append(hdr, fmt.Sprintf("b=%d", batch))
+		}
+		hdr = append(hdr, "vs flexgen (b=64)", "vs vllm (b=64)")
+		tb := textfmt.NewTable(hdr...)
+		for _, system := range r.Config.Systems {
+			row := []string{system}
+			for _, batch := range r.Config.Batches {
+				c, ok := r.Cell(modelName, batch, system)
+				switch {
+				case !ok:
+					row = append(row, "-")
+				case c.OOM:
+					row = append(row, "OOM")
+				default:
+					row = append(row, fmt.Sprintf("%.1f", c.Throughput))
+				}
+			}
+			if system == "alisa" {
+				maxBatch := r.Config.Batches[len(r.Config.Batches)-1]
+				row = append(row,
+					fmt.Sprintf("%.2fx", r.Speedup(modelName, maxBatch, "flexgen")),
+					fmt.Sprintf("%.2fx", r.Speedup(modelName, maxBatch, "vllm")))
+			}
+			tb.AddRow(row...)
+		}
+		b.WriteString(tb.String())
+	}
+	return b.String()
+}

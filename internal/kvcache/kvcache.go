@@ -1,0 +1,256 @@
+// Package kvcache provides the KV-tensor placement bookkeeping for the
+// three caching granularities the paper compares (Table I):
+//
+//   - TokenStore — ALISA's token-level placement: every token position is
+//     individually on GPU, on CPU, or deleted (recomputable).
+//   - BlockStore — vLLM-style paged blocks: fixed groups of tokens move
+//     between devices as units, with partial-block allocation overhead.
+//   - HeadStore — FlexGen-style head-level static split: a fixed fraction
+//     of every token's KV lives on each device for the whole run.
+//
+// Stores track logical placement and byte accounting; the memsim system
+// charges the actual transfer times.
+package kvcache
+
+import "fmt"
+
+// Location says where a token's KV tensors currently live.
+type Location uint8
+
+// Locations of KV tensors.
+const (
+	GPU Location = iota
+	CPU
+	Deleted
+)
+
+// String returns the location name.
+func (l Location) String() string {
+	switch l {
+	case GPU:
+		return "gpu"
+	case CPU:
+		return "cpu"
+	case Deleted:
+		return "deleted"
+	}
+	return fmt.Sprintf("location(%d)", uint8(l))
+}
+
+// TokenStore tracks per-token-position KV placement for a batch whose
+// sequences advance in lockstep (the paper's system evaluation setting).
+// Position i covers the KV of token i in every sequence of the batch.
+type TokenStore struct {
+	loc    []Location
+	counts [3]int
+}
+
+// NewTokenStore returns an empty token-level store.
+func NewTokenStore() *TokenStore { return &TokenStore{} }
+
+// Len returns the number of token positions tracked (including deleted).
+func (s *TokenStore) Len() int { return len(s.loc) }
+
+// Append adds a new token position at the given location and returns its
+// index.
+func (s *TokenStore) Append(loc Location) int {
+	s.loc = append(s.loc, loc)
+	s.counts[loc]++
+	return len(s.loc) - 1
+}
+
+// Loc returns the location of position i.
+func (s *TokenStore) Loc(i int) Location {
+	s.check(i)
+	return s.loc[i]
+}
+
+// Move relocates position i to the given location. Moving a deleted token
+// back to GPU models recomputation.
+func (s *TokenStore) Move(i int, to Location) {
+	s.check(i)
+	from := s.loc[i]
+	if from == to {
+		return
+	}
+	s.counts[from]--
+	s.counts[to]++
+	s.loc[i] = to
+}
+
+// Count returns how many positions live at loc.
+func (s *TokenStore) Count(loc Location) int { return s.counts[loc] }
+
+// OldestIn returns up to max position indices at loc, oldest first — the
+// eviction order of both ALISA's offload heuristic ("store the preceding
+// ones in the CPU") and its Phase III deletion ("delete the oldest KV
+// tensors in the CPU").
+func (s *TokenStore) OldestIn(loc Location, max int) []int {
+	if max <= 0 {
+		return nil
+	}
+	out := make([]int, 0, max)
+	for i, l := range s.loc {
+		if l == loc {
+			out = append(out, i)
+			if len(out) == max {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// NewestIn returns up to max position indices at loc, newest first.
+func (s *TokenStore) NewestIn(loc Location, max int) []int {
+	if max <= 0 {
+		return nil
+	}
+	out := make([]int, 0, max)
+	for i := len(s.loc) - 1; i >= 0; i-- {
+		if s.loc[i] == loc {
+			out = append(out, i)
+			if len(out) == max {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// FractionIn returns the fraction of the first prefix positions that live
+// at loc; prefix ≤ 0 returns 0.
+func (s *TokenStore) FractionIn(loc Location, prefix int) float64 {
+	if prefix <= 0 {
+		return 0
+	}
+	if prefix > len(s.loc) {
+		prefix = len(s.loc)
+	}
+	n := 0
+	for i := 0; i < prefix; i++ {
+		if s.loc[i] == loc {
+			n++
+		}
+	}
+	return float64(n) / float64(prefix)
+}
+
+func (s *TokenStore) check(i int) {
+	if i < 0 || i >= len(s.loc) {
+		panic(fmt.Sprintf("kvcache: position %d out of range %d", i, len(s.loc)))
+	}
+}
+
+// BlockStore is vLLM-style paged placement: tokens fill fixed-size blocks;
+// whole blocks move between devices. Allocation is block-granular, so the
+// final partially filled block still occupies a full block of memory.
+type BlockStore struct {
+	blockSize int
+	tokens    int
+	blocks    []Location // one entry per allocated block
+}
+
+// NewBlockStore returns an empty paged store with the given block size.
+func NewBlockStore(blockSize int) *BlockStore {
+	if blockSize <= 0 {
+		panic(fmt.Sprintf("kvcache: block size must be positive, got %d", blockSize))
+	}
+	return &BlockStore{blockSize: blockSize}
+}
+
+// BlockSize returns the tokens per block.
+func (b *BlockStore) BlockSize() int { return b.blockSize }
+
+// Tokens returns the number of tokens stored.
+func (b *BlockStore) Tokens() int { return b.tokens }
+
+// Blocks returns the number of allocated blocks.
+func (b *BlockStore) Blocks() int { return len(b.blocks) }
+
+// Append adds one token, allocating a new GPU block when the current one
+// is full. It reports whether a new block was allocated.
+func (b *BlockStore) Append() bool {
+	grew := false
+	if b.tokens == len(b.blocks)*b.blockSize {
+		b.blocks = append(b.blocks, GPU)
+		grew = true
+	}
+	b.tokens++
+	return grew
+}
+
+// AllocatedTokens returns the token capacity of all allocated blocks —
+// the fragmentation-inclusive footprint vLLM's paging avoids wasting
+// beyond one block.
+func (b *BlockStore) AllocatedTokens() int { return len(b.blocks) * b.blockSize }
+
+// BlocksIn counts blocks at the given location.
+func (b *BlockStore) BlocksIn(loc Location) int {
+	n := 0
+	for _, l := range b.blocks {
+		if l == loc {
+			n++
+		}
+	}
+	return n
+}
+
+// SwapOut moves up to n of the oldest GPU blocks to CPU, returning how
+// many moved.
+func (b *BlockStore) SwapOut(n int) int {
+	moved := 0
+	for i := 0; i < len(b.blocks) && moved < n; i++ {
+		if b.blocks[i] == GPU {
+			b.blocks[i] = CPU
+			moved++
+		}
+	}
+	return moved
+}
+
+// SwapIn moves up to n of the oldest CPU blocks back to GPU, returning how
+// many moved.
+func (b *BlockStore) SwapIn(n int) int {
+	moved := 0
+	for i := 0; i < len(b.blocks) && moved < n; i++ {
+		if b.blocks[i] == CPU {
+			b.blocks[i] = GPU
+			moved++
+		}
+	}
+	return moved
+}
+
+// HeadStore is FlexGen-style head-level static placement: GPUFraction of
+// every token's KV bytes stay on GPU and the rest on CPU, fixed for the
+// whole inference ("splits KV tensors along the head dimension and remains
+// static", Fig. 7(a)).
+type HeadStore struct {
+	heads    int
+	gpuHeads int
+	tokens   int
+}
+
+// NewHeadStore returns a head-split store keeping gpuHeads of heads on GPU.
+func NewHeadStore(heads, gpuHeads int) *HeadStore {
+	if heads <= 0 || gpuHeads < 0 || gpuHeads > heads {
+		panic(fmt.Sprintf("kvcache: bad head split %d/%d", gpuHeads, heads))
+	}
+	return &HeadStore{heads: heads, gpuHeads: gpuHeads}
+}
+
+// Append adds one token position.
+func (h *HeadStore) Append() { h.tokens++ }
+
+// Tokens returns the number of stored token positions.
+func (h *HeadStore) Tokens() int { return h.tokens }
+
+// GPUFraction returns the byte fraction resident on GPU.
+func (h *HeadStore) GPUFraction() float64 { return float64(h.gpuHeads) / float64(h.heads) }
+
+// Split divides total KV bytes between the devices.
+func (h *HeadStore) Split(totalBytes int64) (gpu, cpu int64) {
+	gpu = int64(float64(totalBytes) * h.GPUFraction())
+	return gpu, totalBytes - gpu
+}

@@ -1,0 +1,248 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpearmanPerfectCorrelation(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{10, 20, 30, 40, 50}
+	rho, err := Spearman(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho-1) > 1e-12 {
+		t.Fatalf("ρ = %v, want 1", rho)
+	}
+}
+
+func TestSpearmanPerfectAnticorrelation(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{9, 7, 5, 3}
+	rho, err := Spearman(a, []float64{-b[0], -b[1], -b[2], -b[3]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho-1) > 1e-12 {
+		t.Fatalf("negated anticorrelation ρ = %v, want 1", rho)
+	}
+	rho, err = Spearman(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho+1) > 1e-12 {
+		t.Fatalf("ρ = %v, want -1", rho)
+	}
+}
+
+func TestSpearmanMonotoneTransformInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := make([]float64, 50)
+	b := make([]float64, 50)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = math.Exp(a[i]) // strictly monotone transform
+	}
+	rho, err := Spearman(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho-1) > 1e-12 {
+		t.Fatalf("monotone transform ρ = %v, want 1", rho)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	// With ties, fractional ranks keep ρ well-defined and symmetric.
+	a := []float64{1, 1, 2, 3}
+	b := []float64{2, 2, 4, 6}
+	rho, err := Spearman(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho-1) > 1e-12 {
+		t.Fatalf("tied ρ = %v, want 1", rho)
+	}
+}
+
+func TestSpearmanErrors(t *testing.T) {
+	if _, err := Spearman([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+	if _, err := Spearman([]float64{1}, []float64{2}); err == nil {
+		t.Fatal("expected too-short error")
+	}
+	if _, err := Spearman([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Fatal("expected zero-variance error for constant input")
+	}
+}
+
+func TestFractionalRanks(t *testing.T) {
+	got := FractionalRanks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSparsityThreshold(t *testing.T) {
+	// max = 1.0; cut at 1% → 0.01. Elements below 0.01 are "zeros".
+	row := []float64{1.0, 0.5, 0.009, 0.0001, 0}
+	if got := Sparsity(row, 0.01); got != 3.0/5 {
+		t.Fatalf("sparsity = %v, want 0.6", got)
+	}
+}
+
+func TestSparsityDegenerate(t *testing.T) {
+	if Sparsity(nil, 0.01) != 0 {
+		t.Fatal("empty row sparsity should be 0")
+	}
+	if Sparsity([]float64{0, 0}, 0.01) != 1 {
+		t.Fatal("all-zero row should be fully sparse")
+	}
+}
+
+func TestMassRecall(t *testing.T) {
+	w := []float64{0.5, 0.3, 0.1, 0.1}
+	if got := MassRecall(w, []int{0, 1}); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("recall = %v, want 0.8", got)
+	}
+	// Duplicates and out-of-range indices are ignored.
+	if got := MassRecall(w, []int{0, 0, 99, -1}); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("recall with dupes = %v, want 0.5", got)
+	}
+	if MassRecall([]float64{0, 0}, nil) != 1 {
+		t.Fatal("zero-mass weights should recall 1")
+	}
+}
+
+func TestPerplexityProxyShape(t *testing.T) {
+	dense := 12.0
+	if got := PerplexityProxy(dense, 1.0); got != dense {
+		t.Fatalf("full recall ppl = %v, want dense %v", got, dense)
+	}
+	nearly := PerplexityProxy(dense, 0.99)
+	if (nearly-dense)/dense > 0.05 {
+		t.Fatalf("99%% recall should degrade <5%%: %v vs %v", nearly, dense)
+	}
+	collapsed := PerplexityProxy(dense, 0.4)
+	if collapsed < dense*5 {
+		t.Fatalf("40%% recall should collapse: %v vs dense %v", collapsed, dense)
+	}
+	// Monotone: less recall, more perplexity.
+	prev := dense
+	for r := 0.99; r >= 0; r -= 0.01 {
+		cur := PerplexityProxy(dense, r)
+		if cur < prev {
+			t.Fatalf("perplexity not monotone at recall %v", r)
+		}
+		prev = cur
+	}
+}
+
+func TestAccuracyProxyShape(t *testing.T) {
+	dense, chance := 0.78, 0.25
+	if got := AccuracyProxy(dense, chance, 1); got != dense {
+		t.Fatalf("full recall acc = %v, want %v", got, dense)
+	}
+	if got := AccuracyProxy(dense, chance, 0); got < chance-1e-9 || got > chance+0.02 {
+		t.Fatalf("zero recall should approach chance: %v", got)
+	}
+	hi := AccuracyProxy(dense, chance, 0.98)
+	if dense-hi > 0.05 {
+		t.Fatalf("98%% recall should stay near dense: %v", hi)
+	}
+}
+
+func TestMeanGeoMeanPercentile(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean broken")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Fatalf("geomean = %v, want 2", g)
+	}
+	if GeoMean([]float64{1, -1}) != 0 {
+		t.Fatal("geomean with non-positive input should be 0")
+	}
+	v := []float64{4, 1, 3, 2}
+	if p := Percentile(v, 50); math.Abs(p-2.5) > 1e-12 {
+		t.Fatalf("median = %v, want 2.5", p)
+	}
+	if Percentile(v, 0) != 1 || Percentile(v, 100) != 4 {
+		t.Fatal("percentile extremes broken")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	n := Normalize([]float64{1, 3})
+	if n[0] != 0.25 || n[1] != 0.75 {
+		t.Fatalf("normalize = %v", n)
+	}
+	u := Normalize([]float64{0, 0})
+	if u[0] != 0.5 || u[1] != 0.5 {
+		t.Fatalf("zero input should normalize to uniform, got %v", u)
+	}
+}
+
+// Property: Spearman ρ is symmetric and bounded in [-1, 1].
+func TestSpearmanBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(40)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		ab, err1 := Spearman(a, b)
+		ba, err2 := Spearman(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(ab-ba) < 1e-9 && ab >= -1-1e-9 && ab <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MassRecall of the full index set is 1; of the empty set with
+// positive mass is 0; and adding indices never decreases recall.
+func TestMassRecallMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = rng.Float64()
+		}
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		if math.Abs(MassRecall(w, all)-1) > 1e-9 {
+			return false
+		}
+		prev := 0.0
+		for k := 0; k <= n; k++ {
+			cur := MassRecall(w, all[:k])
+			if cur+1e-12 < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

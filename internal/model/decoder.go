@@ -1,0 +1,333 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Decoder is a runnable decoder-only transformer with deterministic
+// synthetic weights. It is deliberately small — the numeric experiments
+// need real softmax attention, KV caching, and quantization-error
+// propagation, not billions of parameters; the full-scale configs feed the
+// analytic simulator instead.
+type Decoder struct {
+	Cfg    Config
+	Embed  *tensor.Matrix // vocab × hidden token embeddings (tied output head)
+	Pos    *tensor.Matrix // maxseq × hidden position embeddings
+	Blocks []*Block
+	FinalG []float32 // final layer-norm gain
+	FinalB []float32 // final layer-norm bias
+}
+
+// Block holds one transformer layer's weights.
+type Block struct {
+	Wq, Wk, Wv, Wo *tensor.Matrix // hidden × hidden
+	W1             *tensor.Matrix // hidden × ffn
+	W2             *tensor.Matrix // ffn × hidden
+	LN1G, LN1B     []float32
+	LN2G, LN2B     []float32
+}
+
+// NewDecoder builds a decoder with the given shape and deterministic
+// weights derived from seed. Hidden must be divisible by heads.
+func NewDecoder(cfg Config, seed int64) *Decoder {
+	if cfg.Hidden%cfg.Heads != 0 {
+		panic(fmt.Sprintf("model: hidden %d not divisible by heads %d", cfg.Hidden, cfg.Heads))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	d := &Decoder{
+		Cfg:    cfg,
+		Embed:  randMatrix(rng, cfg.Vocab, cfg.Hidden, 1),
+		Pos:    randMatrix(rng, cfg.MaxSeq, cfg.Hidden, 0.5),
+		FinalG: ones(cfg.Hidden),
+		FinalB: make([]float32, cfg.Hidden),
+	}
+	for range make([]struct{}, cfg.Layers) {
+		scale := 1 / math.Sqrt(float64(cfg.Hidden))
+		ffnScale := 1 / math.Sqrt(float64(cfg.FFN))
+		d.Blocks = append(d.Blocks, &Block{
+			Wq:   randMatrix(rng, cfg.Hidden, cfg.Hidden, scale),
+			Wk:   randMatrix(rng, cfg.Hidden, cfg.Hidden, scale),
+			Wv:   randMatrix(rng, cfg.Hidden, cfg.Hidden, scale),
+			Wo:   randMatrix(rng, cfg.Hidden, cfg.Hidden, scale),
+			W1:   randMatrix(rng, cfg.Hidden, cfg.FFN, scale),
+			W2:   randMatrix(rng, cfg.FFN, cfg.Hidden, ffnScale),
+			LN1G: ones(cfg.Hidden), LN1B: make([]float32, cfg.Hidden),
+			LN2G: ones(cfg.Hidden), LN2B: make([]float32, cfg.Hidden),
+		})
+	}
+	return d
+}
+
+func randMatrix(rng *rand.Rand, rows, cols int, scale float64) *tensor.Matrix {
+	m := tensor.New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64() * scale)
+	}
+	return m
+}
+
+func ones(n int) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// State is the per-sequence KV cache: one K and one V matrix per layer,
+// rows are tokens in generation order.
+type State struct {
+	K, V []*tensor.Matrix
+	Len  int
+}
+
+// NewState returns an empty KV cache for the decoder.
+func (d *Decoder) NewState() *State {
+	s := &State{
+		K: make([]*tensor.Matrix, d.Cfg.Layers),
+		V: make([]*tensor.Matrix, d.Cfg.Layers),
+	}
+	for l := range s.K {
+		s.K[l] = tensor.New(0, d.Cfg.Hidden)
+		s.V[l] = tensor.New(0, d.Cfg.Hidden)
+	}
+	return s
+}
+
+// Selector restricts which cached positions a decode step attends to.
+// Given the layer and the number of cached tokens n (excluding the current
+// token), it returns the cache indices to attend over; the current token
+// always attends to itself in addition. A nil Selector is dense attention.
+type Selector interface {
+	Select(layer, n int) []int
+	// Observe receives the post-softmax attention weights for this step,
+	// averaged across heads, aligned with the returned indices plus the
+	// current token appended last.
+	Observe(layer int, indices []int, weights []float64)
+}
+
+// StepResult carries the outputs of one decode step.
+type StepResult struct {
+	Hidden []float32 // final hidden state of the new token
+	Logits []float32 // vocabulary logits (tied embedding head)
+	// AttnWeights[layer] are the head-averaged post-softmax weights over
+	// the attended positions (selected cache indices then current token).
+	AttnWeights [][]float64
+	// AttnIndices[layer] are the cache indices each weight refers to, with
+	// State.Len (the current token's new index) appended last.
+	AttnIndices [][]int
+}
+
+// DecodeStep runs one autoregressive step: embeds token at position
+// st.Len, attends over the (optionally policy-restricted) KV cache, appends
+// the new token's K/V to the cache, and returns hidden state and logits.
+func (d *Decoder) DecodeStep(st *State, token int, sel Selector) *StepResult {
+	if token < 0 || token >= d.Cfg.Vocab {
+		panic(fmt.Sprintf("model: token %d out of vocab %d", token, d.Cfg.Vocab))
+	}
+	if st.Len >= d.Cfg.MaxSeq {
+		panic(fmt.Sprintf("model: sequence length %d exceeds max %d", st.Len, d.Cfg.MaxSeq))
+	}
+	h := make([]float32, d.Cfg.Hidden)
+	copy(h, d.Embed.Row(token))
+	pos := d.Pos.Row(st.Len)
+	for i := range h {
+		h[i] += pos[i]
+	}
+
+	res := &StepResult{
+		AttnWeights: make([][]float64, d.Cfg.Layers),
+		AttnIndices: make([][]int, d.Cfg.Layers),
+	}
+
+	for l, blk := range d.Blocks {
+		normed := append([]float32(nil), h...)
+		tensor.LayerNorm(normed, blk.LN1G, blk.LN1B, 1e-5)
+		x := tensor.FromSlice(1, d.Cfg.Hidden, normed)
+
+		q := tensor.MatMul(x, blk.Wq)
+		k := tensor.MatMul(x, blk.Wk)
+		v := tensor.MatMul(x, blk.Wv)
+
+		// Select cached positions for this layer.
+		n := st.K[l].Rows
+		var idx []int
+		if sel != nil {
+			idx = sel.Select(l, n)
+		} else {
+			idx = allIndices(n)
+		}
+		keys := tensor.GatherRows(st.K[l], idx)
+		vals := tensor.GatherRows(st.V[l], idx)
+		keys = tensor.ConcatRows(keys, k)
+		vals = tensor.ConcatRows(vals, v)
+
+		attnOut, avgW := d.multiHeadAttend(q.Row(0), keys, vals)
+		proj := tensor.MatMul(tensor.FromSlice(1, d.Cfg.Hidden, attnOut), blk.Wo)
+		for i := range h {
+			h[i] += proj.Data[i]
+		}
+
+		indices := append(append([]int(nil), idx...), st.Len)
+		res.AttnWeights[l] = avgW
+		res.AttnIndices[l] = indices
+		if sel != nil {
+			sel.Observe(l, indices, avgW)
+		}
+
+		// Append the new token's K/V to the cache.
+		st.K[l] = st.K[l].AppendRow(k.Row(0))
+		st.V[l] = st.V[l].AppendRow(v.Row(0))
+
+		// Feed-forward with pre-norm residual.
+		normed2 := append([]float32(nil), h...)
+		tensor.LayerNorm(normed2, blk.LN2G, blk.LN2B, 1e-5)
+		f := tensor.MatMul(tensor.FromSlice(1, d.Cfg.Hidden, normed2), blk.W1)
+		relu(f.Data)
+		f = tensor.MatMul(f, blk.W2)
+		for i := range h {
+			h[i] += f.Data[i]
+		}
+	}
+	st.Len++
+
+	final := append([]float32(nil), h...)
+	tensor.LayerNorm(final, d.FinalG, d.FinalB, 1e-5)
+	res.Hidden = final
+	logits := tensor.MatMulT(tensor.FromSlice(1, d.Cfg.Hidden, final), d.Embed)
+	res.Logits = logits.Data
+	return res
+}
+
+// multiHeadAttend computes attention of the single query row against keys
+// and values (both t×hidden), returning the hidden-sized context vector and
+// the head-averaged attention weights (length t).
+func (d *Decoder) multiHeadAttend(query []float32, keys, vals *tensor.Matrix) ([]float32, []float64) {
+	heads := d.Cfg.Heads
+	dh := d.Cfg.HeadDim()
+	t := keys.Rows
+	out := make([]float32, d.Cfg.Hidden)
+	avg := make([]float64, t)
+	scale := 1 / math.Sqrt(float64(dh))
+	scores := make([]float32, t)
+	for hd := 0; hd < heads; hd++ {
+		lo := hd * dh
+		qh := query[lo : lo+dh]
+		for i := 0; i < t; i++ {
+			krow := keys.Row(i)[lo : lo+dh]
+			scores[i] = float32(tensor.Dot(qh, krow) * scale)
+		}
+		tensor.SoftmaxInPlace(scores)
+		for i := 0; i < t; i++ {
+			w := float64(scores[i])
+			avg[i] += w
+			vrow := vals.Row(i)[lo : lo+dh]
+			for j := 0; j < dh; j++ {
+				out[lo+j] += float32(w * float64(vrow[j]))
+			}
+		}
+	}
+	inv := 1 / float64(heads)
+	for i := range avg {
+		avg[i] *= inv
+	}
+	return out, avg
+}
+
+func relu(v []float32) {
+	for i, x := range v {
+		if x < 0 {
+			v[i] = 0
+		}
+	}
+}
+
+func allIndices(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// ForwardFull runs the whole sequence through the decoder without KV
+// caching — every step recomputes attention over the full prefix. It
+// returns the logits of the final position and serves as the ground truth
+// the KV-cached path must match.
+func (d *Decoder) ForwardFull(tokens []int) []float32 {
+	s := len(tokens)
+	if s == 0 {
+		panic("model: empty sequence")
+	}
+	x := tensor.New(s, d.Cfg.Hidden)
+	for i, tok := range tokens {
+		copy(x.Row(i), d.Embed.Row(tok))
+		pos := d.Pos.Row(i)
+		row := x.Row(i)
+		for j := range row {
+			row[j] += pos[j]
+		}
+	}
+
+	dh := d.Cfg.HeadDim()
+	scale := 1 / math.Sqrt(float64(dh))
+	for _, blk := range d.Blocks {
+		normed := x.Clone()
+		for i := 0; i < s; i++ {
+			tensor.LayerNorm(normed.Row(i), blk.LN1G, blk.LN1B, 1e-5)
+		}
+		q := tensor.MatMul(normed, blk.Wq)
+		k := tensor.MatMul(normed, blk.Wk)
+		v := tensor.MatMul(normed, blk.Wv)
+
+		attnOut := tensor.New(s, d.Cfg.Hidden)
+		scores := make([]float32, s)
+		for hd := 0; hd < d.Cfg.Heads; hd++ {
+			lo := hd * dh
+			for i := 0; i < s; i++ {
+				qh := q.Row(i)[lo : lo+dh]
+				for j := 0; j <= i; j++ {
+					scores[j] = float32(tensor.Dot(qh, k.Row(j)[lo:lo+dh]) * scale)
+				}
+				tensor.SoftmaxInPlace(scores[:i+1])
+				orow := attnOut.Row(i)
+				for j := 0; j <= i; j++ {
+					w := float64(scores[j])
+					vrow := v.Row(j)[lo : lo+dh]
+					for c := 0; c < dh; c++ {
+						orow[lo+c] += float32(w * float64(vrow[c]))
+					}
+				}
+			}
+		}
+		proj := tensor.MatMul(attnOut, blk.Wo)
+		x.Add(proj)
+
+		normed2 := x.Clone()
+		for i := 0; i < s; i++ {
+			tensor.LayerNorm(normed2.Row(i), blk.LN2G, blk.LN2B, 1e-5)
+		}
+		f := tensor.MatMul(normed2, blk.W1)
+		relu(f.Data)
+		f = tensor.MatMul(f, blk.W2)
+		x.Add(f)
+	}
+
+	final := append([]float32(nil), x.Row(s-1)...)
+	tensor.LayerNorm(final, d.FinalG, d.FinalB, 1e-5)
+	logits := tensor.MatMulT(tensor.FromSlice(1, d.Cfg.Hidden, final), d.Embed)
+	return logits.Data
+}
+
+// SmallConfig returns a laptop-scale decoder config suitable for the
+// numeric experiments and tests.
+func SmallConfig() Config {
+	return Config{
+		Name: "tiny-decoder", Family: "synthetic",
+		Layers: 4, Hidden: 64, Heads: 4, FFN: 128, Vocab: 96, MaxSeq: 256,
+	}
+}

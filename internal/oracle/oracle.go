@@ -1,0 +1,325 @@
+// Package oracle generates synthetic attention-weight processes with the
+// statistical structure the paper observes in real LLMs (Fig. 3 and 5):
+// heavy-tailed per-token importance, a locality bias toward recent tokens,
+// an attention-sink first token, and a small set of persistent but
+// *drifting* heavy hitters. It stands in for running OPT/LLaMA/Pythia
+// checkpoints, which the reproduction environment cannot host.
+//
+// The substitution is mechanism-preserving: the paper's accuracy argument
+// is that SWA's retained token set captures nearly all attention mass
+// (Fig. 4, Spearman ρ ≈ 1), and that argument only depends on the mass
+// distribution — concentrated, local-biased, with slowly moving heavy
+// hitters — not on the language itself. Restricting a softmax to a subset
+// of positions and renormalising is exactly what sparse attention computes
+// for fixed scores, so masked rows derived from the dense row are exact,
+// not approximate, at the single-step level.
+package oracle
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/attention"
+	"repro/internal/metrics"
+	"repro/internal/model"
+)
+
+// Spec parameterises an attention process.
+type Spec struct {
+	Layers int
+	Seed   int64
+
+	// Concentration scales the per-token importance logits; higher values
+	// concentrate the softmax and raise attention-weight sparsity. This is
+	// the model-size knob: the paper's Fig. 3 shows larger models are
+	// sparser.
+	Concentration float64
+
+	// LocalityWeight and LocalityTau shape the recency boost
+	// LocalityWeight · exp(−distance/LocalityTau).
+	LocalityWeight float64
+	LocalityTau    float64
+
+	// SinkBoost elevates position 0, the attention-sink token.
+	SinkBoost float64
+
+	// HitterRate is the probability a newly generated token becomes a
+	// heavy hitter; HitterBoost its logit strength; HitterLifetime the
+	// geometric-mean number of steps it stays hot before drifting away.
+	HitterRate     float64
+	HitterBoost    float64
+	HitterLifetime int
+}
+
+// DefaultSpec returns the base process used when no model calibration is
+// requested: mid-sized-model statistics.
+func DefaultSpec(layers int, seed int64) Spec {
+	return Spec{
+		Layers:         layers,
+		Seed:           seed,
+		Concentration:  2.4,
+		LocalityWeight: 2.0,
+		LocalityTau:    6,
+		SinkBoost:      1.5,
+		HitterRate:     0.06,
+		HitterBoost:    3.2,
+		HitterLifetime: 48,
+	}
+}
+
+// SpecForModel calibrates a process to a model configuration so that the
+// measured dense attention sparsity lands where Fig. 3 reports it:
+// roughly 85 % for ~7 B models, ~90 % for ~13 B, ~95 % for ~30 B (density
+// of OPT-30B ≈ 3× lower than OPT-6.7B).
+func SpecForModel(cfg model.Config, seed int64) Spec {
+	s := DefaultSpec(cfg.Layers, seed)
+	params := float64(cfg.Params())
+	switch {
+	case params >= 25e9:
+		s.Concentration = 3.6
+		s.HitterBoost = 4.4
+	case params >= 10e9:
+		s.Concentration = 2.9
+		s.HitterBoost = 3.7
+	default:
+		s.Concentration = 2.4
+		s.HitterBoost = 3.2
+	}
+	return s
+}
+
+// Process is a running attention-weight generator. Each call to Next
+// advances one decode step and returns, per layer, the dense post-softmax
+// attention row of the new token over positions 0..t (self last).
+type Process struct {
+	Spec  Spec
+	step  int
+	rng   *rand.Rand
+	layer []*layerState
+}
+
+type layerState struct {
+	base    []float64 // per-token importance logit, drawn at token birth
+	hitter  []float64 // current hitter boost per token (0 when cold)
+	expires []int     // step at which the hitter boost lapses
+	tempo   float64   // per-layer concentration jitter
+}
+
+// New returns a Process for the given spec.
+func New(spec Spec) *Process {
+	if spec.Layers <= 0 {
+		panic(fmt.Sprintf("oracle: layers must be positive, got %d", spec.Layers))
+	}
+	p := &Process{
+		Spec:  spec,
+		rng:   rand.New(rand.NewSource(spec.Seed)),
+		layer: make([]*layerState, spec.Layers),
+	}
+	for i := range p.layer {
+		// Layers differ in sharpness (Fig. 3 shows per-layer spread); the
+		// jitter is deterministic in the seed.
+		p.layer[i] = &layerState{tempo: 0.75 + 0.5*p.rng.Float64()}
+	}
+	return p
+}
+
+// Step reports how many steps the process has generated.
+func (p *Process) Step() int { return p.step }
+
+// Next advances one decode step and returns one dense attention row per
+// layer. Row l has length Step() (positions 0..t inclusive of the new
+// token, which is last) and sums to 1.
+func (p *Process) Next() [][]float64 {
+	t := p.step
+	rows := make([][]float64, p.Spec.Layers)
+	for l, st := range p.layer {
+		// Birth of token t on this layer.
+		st.base = append(st.base, p.rng.NormFloat64())
+		st.hitter = append(st.hitter, 0)
+		st.expires = append(st.expires, 0)
+		if p.rng.Float64() < p.Spec.HitterRate {
+			st.hitter[t] = p.Spec.HitterBoost * (0.5 + p.rng.ExpFloat64())
+			life := 1 + int(float64(p.Spec.HitterLifetime)*p.rng.ExpFloat64())
+			st.expires[t] = t + life
+		}
+
+		logits := make([]float64, t+1)
+		conc := p.Spec.Concentration * st.tempo
+		for i := 0; i <= t; i++ {
+			if st.expires[i] <= t {
+				st.hitter[i] = 0
+			}
+			dist := float64(t - i)
+			logit := conc*st.base[i] + st.hitter[i]
+			logit += p.Spec.LocalityWeight * math.Exp(-dist/p.Spec.LocalityTau)
+			if i == 0 {
+				logit += p.Spec.SinkBoost
+			}
+			logits[i] = logit
+		}
+		rows[l] = softmax(logits)
+	}
+	p.step++
+	return rows
+}
+
+func softmax(logits []float64) []float64 {
+	maxv := math.Inf(-1)
+	for _, v := range logits {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	out := make([]float64, len(logits))
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(v - maxv)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// MaskRow restricts the dense row to the retained cache indices plus the
+// current token (the row's last position) and renormalises — exactly the
+// distribution a sparse-attention softmax over the same scores produces.
+// It returns the retained global indices (current token last) and their
+// renormalised weights.
+func MaskRow(dense []float64, selected []int) (indices []int, weights []float64) {
+	cur := len(dense) - 1
+	indices = append(append([]int(nil), selected...), cur)
+	weights = make([]float64, len(indices))
+	var sum float64
+	for i, idx := range indices {
+		weights[i] = dense[idx]
+		sum += dense[idx]
+	}
+	if sum > 0 {
+		for i := range weights {
+			weights[i] /= sum
+		}
+	}
+	return indices, weights
+}
+
+// Result aggregates an Evaluate run.
+type Result struct {
+	PolicyName string
+	Steps      int
+
+	// MeanRecall is the average fraction of dense attention mass the
+	// policy's retained sets captured, across steps and layers.
+	MeanRecall float64
+	// RecallPerStep averages recall across layers at each step.
+	RecallPerStep []float64
+	// DenseSparsityPerStep and MaskedSparsityPerStep measure attention
+	// weight sparsity (1 %-of-row-max threshold) of the dense row and of
+	// the policy-masked row embedded back into a full-length row.
+	DenseSparsityPerStep  []float64
+	MaskedSparsityPerStep []float64
+	// AvgScore[i] is the average attention weight position i received
+	// under the policy (masked rows); DenseAvgScore is the same for the
+	// dense rows. Both average over the steps at which position i existed
+	// and are the series behind the paper's Fig. 4 distributions.
+	AvgScore      []float64
+	DenseAvgScore []float64
+}
+
+// Evaluate runs a policy against a fresh process for the given number of
+// steps, feeding the policy masked attention rows exactly as a sparse
+// decoder would, and collecting recall, sparsity, and score-distribution
+// measurements.
+func Evaluate(spec Spec, pol attention.Policy, steps int) *Result {
+	proc := New(spec)
+	res := &Result{
+		PolicyName:            pol.Name(),
+		Steps:                 steps,
+		RecallPerStep:         make([]float64, steps),
+		DenseSparsityPerStep:  make([]float64, steps),
+		MaskedSparsityPerStep: make([]float64, steps),
+		AvgScore:              make([]float64, steps),
+		DenseAvgScore:         make([]float64, steps),
+	}
+	counts := make([]float64, steps)
+	var recallSum float64
+	var recallN int
+
+	for t := 0; t < steps; t++ {
+		rows := proc.Next()
+		var stepRecall, stepDenseSp, stepMaskedSp float64
+		for l, dense := range rows {
+			sel := pol.Select(l, t) // t cached tokens before this step
+			indices, weights := MaskRow(dense, sel)
+
+			// Recall over the cached positions plus current token.
+			recall := metrics.MassRecall(dense, indices)
+			stepRecall += recall
+			recallSum += recall
+			recallN++
+
+			stepDenseSp += metrics.Sparsity(dense, 0.01)
+			masked := make([]float64, len(dense))
+			for i, idx := range indices {
+				masked[idx] = weights[i]
+			}
+			stepMaskedSp += metrics.Sparsity(masked, 0.01)
+
+			for i, idx := range indices {
+				res.AvgScore[idx] += weights[i]
+			}
+			for i, w := range dense {
+				res.DenseAvgScore[i] += w
+			}
+			_ = l
+			pol.Observe(l, indices, weights)
+		}
+		layers := float64(len(rows))
+		res.RecallPerStep[t] = stepRecall / layers
+		res.DenseSparsityPerStep[t] = stepDenseSp / layers
+		res.MaskedSparsityPerStep[t] = stepMaskedSp / layers
+		for i := 0; i <= t; i++ {
+			counts[i] += layers
+		}
+	}
+	for i := range res.AvgScore {
+		if counts[i] > 0 {
+			res.AvgScore[i] /= counts[i]
+			res.DenseAvgScore[i] /= counts[i]
+		}
+	}
+	res.MeanRecall = recallSum / float64(recallN)
+	return res
+}
+
+// SpearmanVsDense computes the Spearman rank correlation between the
+// policy's average score distribution and the dense distribution — the ρ
+// the paper reports under each panel of Fig. 4.
+func (r *Result) SpearmanVsDense() (float64, error) {
+	return metrics.Spearman(r.AvgScore, r.DenseAvgScore)
+}
+
+// AttentionMap generates the average dense attention weight map for a
+// sequence of the given length: entry (i, j) is the weight position j
+// received when decoding position i, averaged across layers (paper
+// Fig. 5). The upper triangle is zero by causality.
+func AttentionMap(spec Spec, seqLen int) [][]float64 {
+	proc := New(spec)
+	m := make([][]float64, seqLen)
+	for i := range m {
+		m[i] = make([]float64, seqLen)
+		rows := proc.Next()
+		for _, row := range rows {
+			for j, w := range row {
+				m[i][j] += w
+			}
+		}
+		for j := range m[i] {
+			m[i][j] /= float64(len(rows))
+		}
+	}
+	return m
+}

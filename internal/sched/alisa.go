@@ -1,0 +1,313 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/kvcache"
+	"repro/internal/memsim"
+	"repro/internal/trace"
+)
+
+// Alisa is the paper's three-phase token-level dynamic scheduler
+// (Algorithm 2, Fig. 7(b)):
+//
+//	Phase I   — all KV tensors fit in GPU memory; no CPU traffic.
+//	Phase II  — KV exceeds GPU capacity; the overflow lives in CPU memory
+//	            at token granularity and the globally-selected tokens that
+//	            land there are streamed in per step. Locally static tokens
+//	            (the most recent window) stay GPU-resident, which is why
+//	            eviction is oldest-first ("we choose to keep the KV
+//	            tensors for the locally static tokens in the GPU").
+//	Phase III — from step P2 on, the oldest β-fraction of the CPU-resident
+//	            tokens is deleted and recomputed on demand, trading GPU
+//	            compute for PCIe traffic.
+//
+// Phase transitions are capacity-triggered (Phase II) and step-triggered
+// (Phase III at P2), with β and P2 chosen offline by Optimize.
+type Alisa struct {
+	// Beta is the recompute ratio β: the share of would-be CPU-resident
+	// tokens that is deleted instead, from Phase III on.
+	Beta float64
+	// P2 is the Phase III switch step. Steps j ≥ P2 delete.
+	P2 int
+	// Recompute false disables Phase III entirely (the Fig. 12(b)
+	// "without recomputation" arm).
+	Recompute bool
+	// AutoTune runs the offline optimizer at Init to pick Beta and P2.
+	AutoTune bool
+	// EvictNewestFirst inverts the offload order for the eviction-order
+	// ablation: instead of keeping the locally static window GPU-resident
+	// (the paper's heuristic), the newest tokens are offloaded first,
+	// forcing the local window to stream from CPU memory every step.
+	EvictNewestFirst bool
+
+	store *kvcache.TokenStore
+
+	phase2Start int // first step that offloaded (-1 until seen)
+	phase3Start int // first step that deleted (-1 until seen)
+	params      Params
+}
+
+// NewAlisa returns an auto-tuned three-phase scheduler.
+func NewAlisa() *Alisa {
+	return &Alisa{Recompute: true, AutoTune: true, phase2Start: -1, phase3Start: -1}
+}
+
+// NewAlisaManual returns a scheduler with explicit β and P2 (no tuning).
+func NewAlisaManual(beta float64, p2 int, recompute bool) *Alisa {
+	return &Alisa{Beta: beta, P2: p2, Recompute: recompute, phase2Start: -1, phase3Start: -1}
+}
+
+// Name implements Scheduler.
+func (a *Alisa) Name() string { return "alisa" }
+
+// Params returns the parameters in effect after Init.
+func (a *Alisa) Params() Params { return a.params }
+
+// Init implements Scheduler: tune parameters, then place the prefill KV —
+// GPU first, overflow to CPU oldest-first.
+func (a *Alisa) Init(ctx *Context) error {
+	a.store = kvcache.NewTokenStore()
+	a.phase2Start, a.phase3Start = -1, -1
+	if a.AutoTune {
+		a.params = Optimize(ctx)
+		a.Beta = a.params.Beta
+		a.P2 = a.params.P2
+	} else {
+		a.params = Params{Beta: a.Beta, P2: a.P2}
+	}
+
+	tokenBytes := ctx.TokenBytes()
+	for i := 0; i < ctx.Input; i++ {
+		if err := ctx.Sys.AllocGPU(tokenBytes); err == nil {
+			a.store.Append(kvcache.GPU)
+			continue
+		}
+		// Prefill KV does not fit: spill this token to CPU. The tensors
+		// were produced on the GPU, so spilling costs a PCIe store. When
+		// CPU memory is itself exhausted and recomputation is available,
+		// the oldest CPU token gives way (early Phase III); without
+		// recomputation the run cannot proceed soundly.
+		for {
+			errCPU := ctx.Sys.AllocCPU(tokenBytes)
+			if errCPU == nil {
+				ctx.ChargeToCPU(tokenBytes)
+				a.store.Append(kvcache.CPU)
+				break
+			}
+			if !a.Recompute {
+				return fmt.Errorf("alisa: prefill KV exceeds CPU memory: %w", errCPU)
+			}
+			old := a.store.OldestIn(kvcache.CPU, 1)
+			if len(old) == 0 {
+				// Nothing deletable: cache this token as already deleted;
+				// it will be recomputed on demand.
+				a.store.Append(kvcache.Deleted)
+				a.markPhase3(0)
+				break
+			}
+			ctx.Sys.FreeCPU(tokenBytes)
+			a.store.Move(old[0], kvcache.Deleted)
+			a.markPhase3(0)
+		}
+	}
+	if ctx.KVBits < 16 {
+		// Quantize the prefill KV once (KV compression, §V-B).
+		q := ctx.Cost.Quantize(int64(ctx.Input) * ctx.TokenBytesFP16())
+		ctx.Sys.Advance(q.Seconds)
+		ctx.Breakdown.Add(trace.CatQuant, q.Seconds)
+	}
+	return nil
+}
+
+// Step implements Scheduler for decode step j.
+func (a *Alisa) Step(ctx *Context, j int) (StepPlan, error) {
+	n := a.store.Len()
+	tokenBytes := ctx.TokenBytes()
+	attended := attendedTokens(ctx, n)
+	plan := StepPlan{Attended: attended, Sparse: ctx.CachingRatio < 1}
+
+	// Split the budget per Algorithm 1: half locally static (most recent),
+	// half globally dynamic from the earlier prefix.
+	local := (attended - 1) / 2
+	if ctx.CachingRatio >= 1 {
+		local = n // dense: everything is "local"
+	}
+	if local > n {
+		local = n
+	}
+	global := attended - 1 - local
+	if global < 0 {
+		global = 0
+	}
+
+	// Locally static tokens: exact placement check of the newest `local`
+	// positions. Oldest-first eviction keeps these GPU-resident except
+	// under extreme pressure.
+	fetched, recomputed := a.localMisses(n, local)
+
+	// Globally dynamic tokens: expected placement under the
+	// recency-biased selection model over the prefix.
+	prefix := n - local
+	if global > 0 && prefix > 0 {
+		_, cpuW, delW := a.weightedFractions(prefix)
+		fetched += int(math.Round(float64(global) * cpuW))
+		recomputed += int(math.Round(float64(global) * delW))
+	}
+
+	if fetched > 0 {
+		ctx.ChargeToGPU(int64(fetched) * tokenBytes)
+	}
+	plan.FetchedTokens = fetched
+	plan.RecomputedTokens = recomputed
+
+	// Make room for and store the new token's KV on the GPU.
+	offloaded, deleted, err := a.ensureGPUSpace(ctx, tokenBytes, j)
+	if err != nil {
+		return plan, err
+	}
+	if err := ctx.Sys.AllocGPU(tokenBytes); err != nil {
+		return plan, fmt.Errorf("alisa: new-token KV: %w", err)
+	}
+	a.store.Append(kvcache.GPU)
+
+	// Phase III: delete the oldest CPU tokens to hold the deletion share
+	// at β of the CPU-side population.
+	if a.Recompute && j >= a.P2 && a.Beta > 0 {
+		deleted += a.enforceDeletionShare(ctx, tokenBytes, j)
+	}
+	plan.OffloadedTokens = offloaded
+	plan.DeletedTokens = deleted
+	return plan, nil
+}
+
+// localMisses counts, among the newest `local` cached positions, how many
+// must be fetched from CPU or recomputed.
+func (a *Alisa) localMisses(n, local int) (fetched, recomputed int) {
+	for pos := n - local; pos < n; pos++ {
+		switch a.store.Loc(pos) {
+		case kvcache.CPU:
+			fetched++
+		case kvcache.Deleted:
+			recomputed++
+		}
+	}
+	return fetched, recomputed
+}
+
+// ensureGPUSpace offloads GPU tokens to CPU until one more token fits,
+// deleting from CPU if CPU memory is itself exhausted. The default
+// oldest-first order is the paper's keep-local heuristic; the ablation
+// flag inverts it.
+func (a *Alisa) ensureGPUSpace(ctx *Context, tokenBytes int64, j int) (offloaded, deleted int, err error) {
+	for ctx.Sys.GPUHeadroom() < tokenBytes {
+		var victims []int
+		if a.EvictNewestFirst {
+			victims = a.store.NewestIn(kvcache.GPU, 1)
+		} else {
+			victims = a.store.OldestIn(kvcache.GPU, 1)
+		}
+		if len(victims) == 0 {
+			return offloaded, deleted, fmt.Errorf("alisa: GPU full with no evictable KV (token bytes %d, headroom %d)",
+				tokenBytes, ctx.Sys.GPUHeadroom())
+		}
+		if errCPU := ctx.Sys.AllocCPU(tokenBytes); errCPU != nil {
+			// CPU full: delete the oldest CPU token to make room, which
+			// is only sound when recomputation is available.
+			if !a.Recompute {
+				return offloaded, deleted, fmt.Errorf("alisa: CPU memory exhausted and recomputation disabled: %w", errCPU)
+			}
+			old := a.store.OldestIn(kvcache.CPU, 1)
+			if len(old) == 0 {
+				return offloaded, deleted, fmt.Errorf("alisa: CPU memory exhausted with nothing deletable: %w", errCPU)
+			}
+			ctx.Sys.FreeCPU(tokenBytes)
+			a.store.Move(old[0], kvcache.Deleted)
+			deleted++
+			a.markPhase3(j)
+			continue
+		}
+		ctx.ChargeToCPU(tokenBytes)
+		ctx.Sys.FreeGPU(tokenBytes)
+		a.store.Move(victims[0], kvcache.CPU)
+		offloaded++
+		a.markPhase2(j)
+	}
+	return offloaded, deleted, nil
+}
+
+// enforceDeletionShare deletes oldest CPU tokens until deleted ≥
+// β·(deleted+cpu), freeing CPU memory (deletion itself is free; the cost
+// returns later as recomputation).
+func (a *Alisa) enforceDeletionShare(ctx *Context, tokenBytes int64, j int) int {
+	deleted := 0
+	for {
+		cpu := a.store.Count(kvcache.CPU)
+		del := a.store.Count(kvcache.Deleted)
+		if cpu == 0 || float64(del) >= a.Beta*float64(del+cpu) {
+			return deleted
+		}
+		victim := a.store.OldestIn(kvcache.CPU, 1)
+		ctx.Sys.FreeCPU(tokenBytes)
+		a.store.Move(victim[0], kvcache.Deleted)
+		deleted++
+		a.markPhase3(j)
+	}
+}
+
+func (a *Alisa) markPhase2(j int) {
+	if a.phase2Start < 0 {
+		a.phase2Start = j
+	}
+}
+
+func (a *Alisa) markPhase3(j int) {
+	if a.phase3Start < 0 {
+		a.phase3Start = j
+	}
+}
+
+// Phase reports which scheduling phase step j executed in (1, 2 or 3),
+// valid after the run.
+func (a *Alisa) Phase(j int) int {
+	if a.phase3Start >= 0 && j >= a.phase3Start {
+		return 3
+	}
+	if a.phase2Start >= 0 && j >= a.phase2Start {
+		return 2
+	}
+	return 1
+}
+
+// PhaseStarts returns the first steps of Phases II and III (-1 when a
+// phase never occurred).
+func (a *Alisa) PhaseStarts() (p2Start, p3Start int) {
+	return a.phase2Start, a.phase3Start
+}
+
+// weightedFractions returns the probability that a globally-selected token
+// lies on each device. The paper's heuristic keeps the locally static
+// window on the GPU precisely because "global tokens are less predictable"
+// (§VI-C) — the globally dynamic set drifts across the whole prefix — so
+// selection is modelled as uniform over the prefix and the fractions are
+// the exact placement shares under the store's current layout.
+func (a *Alisa) weightedFractions(prefix int) (gpuW, cpuW, delW float64) {
+	if prefix <= 0 {
+		return 0, 0, 0
+	}
+	var counts [3]int
+	for i := 0; i < prefix; i++ {
+		counts[a.store.Loc(i)]++
+	}
+	total := float64(prefix)
+	return float64(counts[kvcache.GPU]) / total,
+		float64(counts[kvcache.CPU]) / total,
+		float64(counts[kvcache.Deleted]) / total
+}
+
+// interface check
+var _ Scheduler = (*Alisa)(nil)
+
+// sanity check that memsim errors propagate as *memsim.OOMError
+var _ error = (*memsim.OOMError)(nil)

@@ -1,0 +1,152 @@
+// Package sched implements the KV-cache scheduling policies the paper
+// compares at the system level (Table I):
+//
+//   - Alisa — the paper's contribution: token-level three-phase dynamic
+//     scheduling (Algorithm 2) with sparsity-aware caching and
+//     caching-vs-recomputation balancing, plus the offline optimizer for
+//     {α, β, p1, p2} (Eq. 3–6).
+//   - FlexGen — static head-level GPU/CPU split, streamed every step.
+//   - VLLM — block-level paged cache, GPU-resident, run in waves when the
+//     batch does not fit.
+//   - DeepSpeed — ZeRO-style weight offloading with GPU-pinned KV.
+//   - HFAccelerate — whole-KV CPU offload.
+//
+// Schedulers operate against the memsim system (bytes and capacities) and
+// return per-step plans; the engine in internal/core charges compute.
+package sched
+
+import (
+	"repro/internal/costmodel"
+	"repro/internal/memsim"
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+// Context is the runtime a scheduler operates in for one simulated
+// inference run. All sequences in the batch advance in lockstep, so one
+// "token position" covers the whole batch's KV at that position.
+type Context struct {
+	Sys   *memsim.System
+	Cost  costmodel.Cost
+	Model model.Config
+
+	Batch  int
+	Input  int // prompt length s
+	Output int // generated tokens n
+
+	// CachingRatio is r = 1 − KV sparsity; 1.0 means dense attention.
+	CachingRatio float64
+	// KVBits is the stored KV precision: 16 (FP16), 8 (the INT8
+	// compression of §V-B), or 4 (the INT4 extension the paper cites as
+	// viable for OPT [14]).
+	KVBits int
+
+	// Breakdown receives transfer-time charges made by schedulers.
+	Breakdown *trace.Breakdown
+}
+
+// TokenBytes returns the KV bytes of one token position across the batch
+// at the context's storage precision — the unit of all placement
+// decisions.
+func (c *Context) TokenBytes() int64 {
+	return int64(c.Batch) * c.Model.KVBytesPerToken(2) * int64(c.KVBits) / 16
+}
+
+// kvComputeWidth returns the element width the attention kernels read;
+// sub-byte storage still reads byte-aligned words.
+func (c *Context) kvComputeWidth() int {
+	if c.KVBits >= 16 {
+		return 2
+	}
+	return 1
+}
+
+// TokenBytesFP16 returns the uncompressed (FP16) KV bytes of one position,
+// used to charge quantization passes.
+func (c *Context) TokenBytesFP16() int64 {
+	return int64(c.Batch) * c.Model.KVBytesPerToken(2)
+}
+
+// WeightBytes returns the FP16 model weight footprint.
+func (c *Context) WeightBytes() int64 { return c.Model.WeightBytes(2) }
+
+// ActivationBytes returns the transient activation footprint reserved on
+// the GPU for the whole run.
+func (c *Context) ActivationBytes() int64 { return c.Model.ActivationBytes(c.Batch, 2) }
+
+// MaxSeq returns the final sequence length s + n.
+func (c *Context) MaxSeq() int { return c.Input + c.Output }
+
+// ChargeToGPU charges a CPU→GPU PCIe transfer to the system clock and the
+// breakdown.
+func (c *Context) ChargeToGPU(bytes int64) {
+	dt := c.Sys.TransferToGPU(bytes)
+	c.Breakdown.Add(trace.CatTransfer, dt)
+}
+
+// ChargeToCPU charges a GPU→CPU PCIe transfer.
+func (c *Context) ChargeToCPU(bytes int64) {
+	dt := c.Sys.TransferToCPU(bytes)
+	c.Breakdown.Add(trace.CatTransfer, dt)
+}
+
+// StepPlan is what a scheduler decided for one decode step. The scheduler
+// has already charged transfer time; the engine charges compute from the
+// token counts.
+type StepPlan struct {
+	// Attended is the number of tokens the step attends to per sequence,
+	// including the newly generated token.
+	Attended int
+	// FetchedTokens is how many attended token positions were streamed
+	// from CPU memory this step (transfer already charged).
+	FetchedTokens int
+	// RecomputedTokens is how many attended positions must be recomputed
+	// on the GPU because their KV was deleted (engine charges Tr).
+	RecomputedTokens int
+	// OffloadedTokens and DeletedTokens report placement changes made
+	// this step (for tracing).
+	OffloadedTokens int
+	DeletedTokens   int
+	// Sparse marks steps that pay SWA's local-sum and gather overheads.
+	Sparse bool
+	// FullRecompute marks a step that reprocesses the whole sequence
+	// (KV caching disabled, Fig. 2(c)); Attended is then the sequence
+	// length and the engine charges a prefill-shaped pass.
+	FullRecompute bool
+}
+
+// Scheduler plans KV placement for a simulated inference run.
+type Scheduler interface {
+	Name() string
+	// Init allocates the prefill KV (s tokens) according to the policy.
+	// The engine has already reserved weights and activations.
+	Init(ctx *Context) error
+	// Step plans decode step j ∈ [0, Output): placement changes for the
+	// new token, fetches for this step's attention, offloads and
+	// deletions. Transfer time is charged inside; compute is returned.
+	Step(ctx *Context, j int) (StepPlan, error)
+}
+
+// WavePlanner is implemented by schedulers that split a batch into
+// sequential waves when it cannot be served at once (vLLM-style
+// admission). The engine runs one full inference per wave.
+type WavePlanner interface {
+	Waves(ctx *Context) ([]int, error)
+}
+
+// attendedTokens returns how many tokens a step attends to under the
+// context's caching ratio with n cached tokens: the sparse budget plus the
+// current token.
+func attendedTokens(ctx *Context, n int) int {
+	if ctx.CachingRatio >= 1 {
+		return n + 1
+	}
+	b := int(float64(n)*ctx.CachingRatio + 0.5)
+	if b < 1 {
+		b = 1
+	}
+	if b > n {
+		b = n
+	}
+	return b + 1
+}

@@ -1,0 +1,82 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/memsim"
+)
+
+func TestPCIeSplitStreamsCPUShare(t *testing.T) {
+	ctx := newTestContext(t, memsim.V100_32G(), "opt-6.7b", 4, 64, 32, 1.0, 16)
+	p := NewPCIeSplit(0.5)
+	plans := drive(t, p, ctx)
+
+	tokenBytes := ctx.TokenBytes()
+	// Prefill stores half of every prompt token to CPU; each step fetches
+	// half of the attended context and stores half of the new token.
+	toCPU, toGPU, _ := ctx.Sys.TransferStats()
+	wantToCPU := (int64(ctx.Input) + int64(ctx.Output)) * tokenBytes / 2
+	if toCPU != wantToCPU {
+		t.Fatalf("toCPU = %d, want %d", toCPU, wantToCPU)
+	}
+	var wantToGPU int64
+	for j := 0; j < ctx.Output; j++ {
+		wantToGPU += int64(ctx.Input+j) * (tokenBytes / 2)
+	}
+	if toGPU != wantToGPU {
+		t.Fatalf("toGPU = %d, want %d", toGPU, wantToGPU)
+	}
+	for j, plan := range plans {
+		if plan.FetchedTokens != ctx.Input+j {
+			t.Fatalf("step %d fetched %d, want %d", j, plan.FetchedTokens, ctx.Input+j)
+		}
+	}
+}
+
+func TestPCIeSplitZeroFractionIsGPUOnly(t *testing.T) {
+	ctx := newTestContext(t, memsim.V100_32G(), "opt-6.7b", 4, 64, 16, 1.0, 16)
+	drive(t, NewPCIeSplit(0), ctx)
+	toCPU, toGPU, _ := ctx.Sys.TransferStats()
+	if toCPU != 0 || toGPU != 0 {
+		t.Fatalf("zero CPU fraction moved bytes: %d/%d", toCPU, toGPU)
+	}
+}
+
+func TestPCIeSplitSlowdownScalesWithFraction(t *testing.T) {
+	// The Fig. 1 mechanism in isolation: more CPU share, more time.
+	run := func(frac float64) float64 {
+		ctx := newTestContext(t, memsim.V100_32G(), "opt-6.7b", 4, 128, 64, 1.0, 16)
+		drive(t, NewPCIeSplit(frac), ctx)
+		return ctx.Sys.Clock()
+	}
+	t0, t50, t100 := run(0), run(0.5), run(1.0)
+	if !(t0 < t50 && t50 < t100) {
+		t.Fatalf("slowdown not monotone: %v, %v, %v", t0, t50, t100)
+	}
+	// Transfer time is linear in the fraction, so the increments match.
+	if math.Abs((t100-t50)-(t50-t0)) > 1e-6*(t100+1) {
+		t.Fatalf("transfer increments not linear: %v vs %v", t100-t50, t50-t0)
+	}
+}
+
+func TestPCIeSplitBadFractionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for fraction > 1")
+		}
+	}()
+	NewPCIeSplit(1.5)
+}
+
+func TestGPUOnlyFitsSmallRun(t *testing.T) {
+	ctx := newTestContext(t, memsim.V100_32G(), "opt-6.7b", 4, 64, 32, 1.0, 16)
+	plans := drive(t, NewGPUOnly(), ctx)
+	toCPU, toGPU, _ := ctx.Sys.TransferStats()
+	if toCPU != 0 || toGPU != 0 {
+		t.Fatal("gpu-only must never transfer")
+	}
+	if plans[0].Attended != ctx.Input+1 {
+		t.Fatalf("first step attended %d", plans[0].Attended)
+	}
+}

@@ -1,0 +1,205 @@
+// Package workload defines the evaluation workloads: the system-level
+// batch specs of §VI (Alpaca-sampled prompts, input 128 / output 512,
+// batch 4–64), the Fig. 1 motivation workloads, synthetic token streams
+// with natural-language-like statistics for the runnable decoder, and the
+// seven datasets of Fig. 8 with their published dense-attention baselines
+// (the anchors the accuracy proxies are expressed against).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Spec is one system-level workload: a batch of identical-shape requests.
+type Spec struct {
+	Name   string
+	Batch  int
+	Input  int // prompt tokens (s)
+	Output int // generated tokens (n)
+}
+
+// String formats the spec like the paper's (b, s, n) triples.
+func (s Spec) String() string {
+	return fmt.Sprintf("%s(b=%d,s=%d,n=%d)", s.Name, s.Batch, s.Input, s.Output)
+}
+
+// TotalTokens returns the generated-token count the throughput metric
+// divides by.
+func (s Spec) TotalTokens() int { return s.Batch * s.Output }
+
+// Alpaca returns the paper's system workload (§VI-A: "an input sequence
+// length of 128 and an output sequence length of 512") at the given batch.
+func Alpaca(batch int) Spec {
+	return Spec{Name: "alpaca", Batch: batch, Input: 128, Output: 512}
+}
+
+// Fig9Batches lists the batch sizes of the throughput sweep.
+func Fig9Batches() []int { return []int{4, 8, 16, 32, 64} }
+
+// Fig1Workloads returns the two motivation workloads of Fig. 1 for
+// OPT-6.7B on a V100-32G: a small batch that fits everywhere (where the
+// CPU-placement slowdowns of ≈3×/5× are measured) and a large batch that
+// OOMs without offloading.
+func Fig1Workloads() []Spec {
+	return []Spec{
+		{Name: "w1", Batch: 4, Input: 512, Output: 512},
+		{Name: "w2", Batch: 64, Input: 512, Output: 512},
+	}
+}
+
+// Generator produces token streams with natural-language-like statistics
+// for the runnable decoder: Zipf-distributed token frequencies with local
+// repetition (recently used tokens recur), deterministic in the seed.
+type Generator struct {
+	vocab  int
+	repeat float64 // probability the next token repeats one of the recent
+	window int
+	rng    *rand.Rand
+	zipf   *rand.Zipf
+	recent []int
+}
+
+// NewGenerator returns a generator over the given vocabulary.
+func NewGenerator(vocab int, seed int64) *Generator {
+	if vocab < 2 {
+		panic(fmt.Sprintf("workload: vocabulary too small: %d", vocab))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &Generator{
+		vocab:  vocab,
+		repeat: 0.2,
+		window: 16,
+		rng:    rng,
+		zipf:   rand.NewZipf(rng, 1.2, 1, uint64(vocab-1)),
+	}
+}
+
+// SetStyle adjusts the stream statistics: zipfS ≥ 1.01 steepens the
+// frequency distribution, repeat ∈ [0,1) raises local repetition.
+func (g *Generator) SetStyle(zipfS, repeat float64) {
+	if zipfS < 1.01 || repeat < 0 || repeat >= 1 {
+		panic(fmt.Sprintf("workload: bad style zipf=%v repeat=%v", zipfS, repeat))
+	}
+	g.zipf = rand.NewZipf(g.rng, zipfS, 1, uint64(g.vocab-1))
+	g.repeat = repeat
+}
+
+// Next returns the next token of the stream.
+func (g *Generator) Next() int {
+	var tok int
+	if len(g.recent) > 0 && g.rng.Float64() < g.repeat {
+		tok = g.recent[g.rng.Intn(len(g.recent))]
+	} else {
+		tok = int(g.zipf.Uint64())
+	}
+	g.recent = append(g.recent, tok)
+	if len(g.recent) > g.window {
+		g.recent = g.recent[1:]
+	}
+	return tok
+}
+
+// Prompt returns n tokens.
+func (g *Generator) Prompt(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// Dataset describes one of the paper's seven evaluation datasets with the
+// dense-attention baseline the accuracy proxies anchor to. Baselines are
+// per model name; missing entries fall back to the family default.
+type Dataset struct {
+	Name string
+	Task string // "lm" (perplexity, lower better) or "qa" (accuracy)
+	// Chance is the accuracy floor for QA tasks (random guessing).
+	Chance float64
+	// Dense maps model name to the dense-attention metric: perplexity for
+	// lm, accuracy for qa. Values follow the published evaluations of the
+	// OPT, LLaMA, and Pythia model cards under lm-evaluation-harness.
+	Dense map[string]float64
+}
+
+// Datasets returns the seven datasets of Fig. 8 in the paper's order.
+func Datasets() []Dataset {
+	return []Dataset{
+		{
+			Name: "wikitext-2", Task: "lm",
+			Dense: map[string]float64{
+				"opt-6.7b": 10.9, "opt-13b": 10.1, "opt-30b": 9.6,
+				"llama-7b": 5.7, "llama-13b": 5.1, "llama-33b": 4.1,
+				"pythia-6.9b": 12.7, "pythia-12b": 11.6,
+			},
+		},
+		{
+			Name: "ptb", Task: "lm",
+			Dense: map[string]float64{
+				"opt-6.7b": 13.1, "opt-13b": 12.3, "opt-30b": 11.8,
+				"llama-7b": 8.9, "llama-13b": 8.2, "llama-33b": 7.4,
+				"pythia-6.9b": 15.2, "pythia-12b": 14.1,
+			},
+		},
+		{
+			Name: "alpaca", Task: "lm",
+			Dense: map[string]float64{
+				"opt-6.7b": 8.7, "opt-13b": 8.1, "opt-30b": 7.7,
+				"llama-7b": 6.2, "llama-13b": 5.8, "llama-33b": 5.1,
+				"pythia-6.9b": 9.9, "pythia-12b": 9.2,
+			},
+		},
+		{
+			Name: "piqa", Task: "qa", Chance: 0.5,
+			Dense: map[string]float64{
+				"opt-6.7b": 0.763, "opt-13b": 0.769, "opt-30b": 0.777,
+				"llama-7b": 0.781, "llama-13b": 0.790, "llama-33b": 0.809,
+				"pythia-6.9b": 0.752, "pythia-12b": 0.760,
+			},
+		},
+		{
+			Name: "copa", Task: "qa", Chance: 0.5,
+			Dense: map[string]float64{
+				"opt-6.7b": 0.81, "opt-13b": 0.82, "opt-30b": 0.85,
+				"llama-7b": 0.85, "llama-13b": 0.87, "llama-33b": 0.89,
+				"pythia-6.9b": 0.79, "pythia-12b": 0.81,
+			},
+		},
+		{
+			Name: "openbookqa", Task: "qa", Chance: 0.25,
+			Dense: map[string]float64{
+				"opt-6.7b": 0.352, "opt-13b": 0.354, "opt-30b": 0.362,
+				"llama-7b": 0.424, "llama-13b": 0.436, "llama-33b": 0.452,
+				"pythia-6.9b": 0.330, "pythia-12b": 0.340,
+			},
+		},
+		{
+			Name: "winogrande", Task: "qa", Chance: 0.5,
+			Dense: map[string]float64{
+				"opt-6.7b": 0.653, "opt-13b": 0.650, "opt-30b": 0.682,
+				"llama-7b": 0.701, "llama-13b": 0.727, "llama-33b": 0.760,
+				"pythia-6.9b": 0.641, "pythia-12b": 0.651,
+			},
+		},
+	}
+}
+
+// DenseBaseline returns the dataset's dense metric for the model, or an
+// error for unknown models.
+func (d Dataset) DenseBaseline(modelName string) (float64, error) {
+	if v, ok := d.Dense[modelName]; ok {
+		return v, nil
+	}
+	return 0, fmt.Errorf("workload: no %s baseline for model %q", d.Name, modelName)
+}
+
+// DatasetByName looks up one of the seven datasets.
+func DatasetByName(name string) (Dataset, error) {
+	for _, d := range Datasets() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("workload: unknown dataset %q", name)
+}

@@ -1,0 +1,198 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestAlpacaSpecMatchesPaper(t *testing.T) {
+	s := Alpaca(64)
+	if s.Input != 128 || s.Output != 512 {
+		t.Fatalf("spec %v, paper uses s=128 n=512", s)
+	}
+	if s.TotalTokens() != 64*512 {
+		t.Fatalf("total tokens = %d", s.TotalTokens())
+	}
+	if s.String() == "" {
+		t.Fatal("empty spec string")
+	}
+}
+
+func TestFig9Batches(t *testing.T) {
+	b := Fig9Batches()
+	want := []int{4, 8, 16, 32, 64}
+	if len(b) != len(want) {
+		t.Fatalf("batches = %v", b)
+	}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("batches = %v, want %v", b, want)
+		}
+	}
+}
+
+func TestFig1Workloads(t *testing.T) {
+	ws := Fig1Workloads()
+	if len(ws) != 2 {
+		t.Fatalf("want two workloads, got %d", len(ws))
+	}
+	if ws[0].Batch >= ws[1].Batch {
+		t.Fatal("w2 should be the larger batch")
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := NewGenerator(100, 7).Prompt(50)
+	b := NewGenerator(100, 7).Prompt(50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := NewGenerator(100, 8).Prompt(50)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestGeneratorTokensInVocab(t *testing.T) {
+	g := NewGenerator(64, 3)
+	for _, tok := range g.Prompt(500) {
+		if tok < 0 || tok >= 64 {
+			t.Fatalf("token %d out of vocab", tok)
+		}
+	}
+}
+
+func TestGeneratorZipfSkew(t *testing.T) {
+	// Zipf streams concentrate on few tokens: the most common token
+	// should appear far more than 1/vocab of the time.
+	g := NewGenerator(96, 5)
+	counts := make(map[int]int)
+	const n = 4000
+	for _, tok := range g.Prompt(n) {
+		counts[tok]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max)/n < 3.0/96 {
+		t.Fatalf("stream not skewed: max frequency %v", float64(max)/n)
+	}
+}
+
+func TestGeneratorRepetition(t *testing.T) {
+	g := NewGenerator(1000, 11)
+	g.SetStyle(1.01, 0.8)
+	toks := g.Prompt(400)
+	repeats := 0
+	for i := 1; i < len(toks); i++ {
+		for j := max(0, i-16); j < i; j++ {
+			if toks[j] == toks[i] {
+				repeats++
+				break
+			}
+		}
+	}
+	if float64(repeats)/float64(len(toks)) < 0.5 {
+		t.Fatalf("high-repeat style produced only %d/%d repeats", repeats, len(toks))
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	assertPanic(t, func() { NewGenerator(1, 0) })
+	assertPanic(t, func() { NewGenerator(10, 0).SetStyle(0.5, 0) })
+	assertPanic(t, func() { NewGenerator(10, 0).SetStyle(1.2, 1.0) })
+}
+
+func TestDatasetsComplete(t *testing.T) {
+	ds := Datasets()
+	if len(ds) != 7 {
+		t.Fatalf("paper evaluates 7 datasets, got %d", len(ds))
+	}
+	models := []string{
+		"opt-6.7b", "opt-13b", "opt-30b",
+		"llama-7b", "llama-13b", "llama-33b",
+		"pythia-6.9b", "pythia-12b",
+	}
+	for _, d := range ds {
+		if d.Task != "lm" && d.Task != "qa" {
+			t.Fatalf("%s: bad task %q", d.Name, d.Task)
+		}
+		if d.Task == "qa" && (d.Chance <= 0 || d.Chance >= 1) {
+			t.Fatalf("%s: bad chance %v", d.Name, d.Chance)
+		}
+		for _, m := range models {
+			v, err := d.DenseBaseline(m)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", d.Name, m, err)
+			}
+			if d.Task == "qa" && (v <= d.Chance || v >= 1) {
+				t.Fatalf("%s/%s: accuracy %v not in (chance, 1)", d.Name, m, v)
+			}
+			if d.Task == "lm" && v <= 1 {
+				t.Fatalf("%s/%s: perplexity %v must exceed 1", d.Name, m, v)
+			}
+		}
+	}
+}
+
+func TestLargerModelsBetterBaselines(t *testing.T) {
+	// Within a family, larger models have lower perplexity.
+	for _, d := range Datasets() {
+		if d.Task != "lm" {
+			continue
+		}
+		for _, fam := range [][]string{
+			{"opt-6.7b", "opt-13b", "opt-30b"},
+			{"llama-7b", "llama-13b", "llama-33b"},
+			{"pythia-6.9b", "pythia-12b"},
+		} {
+			prev := 0.0
+			for i, m := range fam {
+				v, _ := d.DenseBaseline(m)
+				if i > 0 && v >= prev {
+					t.Fatalf("%s: %s ppl %v not below predecessor %v", d.Name, m, v, prev)
+				}
+				prev = v
+			}
+		}
+	}
+}
+
+func TestDatasetByName(t *testing.T) {
+	if _, err := DatasetByName("piqa"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DatasetByName("imagenet"); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+	if _, err := Datasets()[0].DenseBaseline("gpt-5"); err == nil {
+		t.Fatal("expected error for unknown model")
+	}
+}
+
+func assertPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

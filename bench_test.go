@@ -308,6 +308,35 @@ func BenchmarkMatMulT(b *testing.B) {
 	}
 }
 
+// BenchmarkOracleEvaluate measures the parallel scratch-reusing accuracy
+// hot path; BenchmarkOracleEvaluateSequential measures the retained
+// per-step-allocating reference. Comparing their allocs/op (each op is
+// evalSteps decode steps over evalLayers layers) shows the allocation
+// reduction the hot path buys — the reference allocates several slices
+// per step per layer, the hot path a constant amount per run.
+const (
+	evalSteps  = 192
+	evalLayers = 4
+)
+
+func BenchmarkOracleEvaluate(b *testing.B) {
+	spec := oracle.SpecForModel(model.MustByName("opt-6.7b"), 1)
+	spec.Layers = evalLayers
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		oracle.Evaluate(spec, attention.NewSWA(0.2, spec.Layers), evalSteps)
+	}
+}
+
+func BenchmarkOracleEvaluateSequential(b *testing.B) {
+	spec := oracle.SpecForModel(model.MustByName("opt-6.7b"), 1)
+	spec.Layers = evalLayers
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		oracle.EvaluateSequential(spec, attention.NewSWA(0.2, spec.Layers), evalSteps)
+	}
+}
+
 func BenchmarkOracleStep(b *testing.B) {
 	proc := oracle.New(oracle.DefaultSpec(4, 1))
 	for i := 0; i < 256; i++ {

@@ -5,10 +5,26 @@
 //
 //	alisa-bench -list            # enumerate experiments
 //	alisa-bench -run fig9        # one experiment
-//	alisa-bench -all             # the full evaluation (minutes)
+//	alisa-bench -all             # the full evaluation
+//	alisa-bench -all -json       # machine-readable timings on stdout
+//
+// With -json the rendered reports are suppressed and a single JSON
+// document is written to stdout instead, so the bench trajectory can be
+// tracked PR-over-PR (e.g. `alisa-bench -all -json > BENCH_$(git
+// rev-parse --short HEAD).json`). The format is documented in
+// EXPERIMENTS.md:
+//
+//	{
+//	  "total_seconds": 3.21,
+//	  "experiments": [
+//	    {"id": "fig8", "title": "...", "seconds": 2.38, "output_bytes": 123456},
+//	    ...
+//	  ]
+//	}
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,46 +33,84 @@ import (
 	"repro/internal/experiments"
 )
 
+// timing is one experiment's entry in the -json report.
+type timing struct {
+	ID          string  `json:"id"`
+	Title       string  `json:"title"`
+	Seconds     float64 `json:"seconds"`
+	OutputBytes int     `json:"output_bytes"`
+}
+
+// report is the top-level -json document.
+type report struct {
+	TotalSeconds float64  `json:"total_seconds"`
+	Experiments  []timing `json:"experiments"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	run := flag.String("run", "", "run one experiment by id (e.g. fig9)")
 	all := flag.Bool("all", false, "run every experiment in paper order")
+	asJSON := flag.Bool("json", false, "emit machine-readable timings instead of rendered reports")
 	flag.Parse()
 
+	var runners []experiments.Runner
 	switch {
 	case *list:
 		for _, r := range experiments.All() {
 			fmt.Printf("%-8s %s\n", r.ID, r.Title)
 		}
+		return
 	case *run != "":
 		r, err := experiments.ByID(*run)
 		if err != nil {
 			fatal(err)
 		}
-		if err := execute(r); err != nil {
-			fatal(err)
-		}
+		runners = []experiments.Runner{r}
 	case *all:
-		for _, r := range experiments.All() {
-			if err := execute(r); err != nil {
-				fatal(err)
-			}
-		}
+		runners = experiments.All()
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	rep := report{}
+	start := time.Now()
+	for _, r := range runners {
+		t, err := execute(r, *asJSON)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Experiments = append(rep.Experiments, t)
+	}
+	rep.TotalSeconds = time.Since(start).Seconds()
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+	}
 }
 
-func execute(r experiments.Runner) error {
+func execute(r experiments.Runner, quiet bool) (timing, error) {
 	start := time.Now()
 	res, err := r.Run()
 	if err != nil {
-		return fmt.Errorf("%s: %w", r.ID, err)
+		return timing{}, fmt.Errorf("%s: %w", r.ID, err)
 	}
-	fmt.Printf("== %s — %s (ran in %s)\n\n", r.ID, r.Title, time.Since(start).Round(time.Millisecond))
-	fmt.Println(res.Render())
-	return nil
+	elapsed := time.Since(start)
+	out := res.Render()
+	if !quiet {
+		fmt.Printf("== %s — %s (ran in %s)\n\n", r.ID, r.Title, elapsed.Round(time.Millisecond))
+		fmt.Println(out)
+	}
+	return timing{
+		ID:          r.ID,
+		Title:       r.Title,
+		Seconds:     elapsed.Seconds(),
+		OutputBytes: len(out),
+	}, nil
 }
 
 func fatal(err error) {

@@ -21,11 +21,19 @@ import (
 // Policy selects cached token positions at each decode step.
 //
 // Select returns, for the given layer, the cache indices (0..n-1, n =
-// tokens currently cached) the step attends to, in ascending order.
-// Observe feeds back the post-softmax attention weights the step produced:
-// indices are global token positions with the current token appended last,
-// weights align with indices. Implementations must tolerate Observe calls
-// with indices they did not select (the dense reference path).
+// tokens currently cached) the step attends to, in ascending order. The
+// returned slice may alias policy-owned scratch: it is valid only until
+// the next Select call on the same policy, and callers that retain it must
+// copy. Observe feeds back the post-softmax attention weights the step
+// produced: indices are global token positions with the current token
+// appended last, weights align with indices; implementations must copy
+// anything they keep and must tolerate Observe calls with indices they did
+// not select (the dense reference path).
+//
+// Stateful policies confine mutable state to the layer argument, so
+// distinct layers of the same policy may be driven from distinct
+// goroutines concurrently (package oracle's parallel Evaluate relies on
+// this); a single layer is not safe for concurrent use.
 type Policy interface {
 	Name() string
 	Select(layer, n int) []int
@@ -48,6 +56,13 @@ func Budget(n int, r float64) int {
 	}
 	return b
 }
+
+// Dense, Local, and Strided are stateless, so one instance may serve all
+// layers concurrently (package oracle's parallel Evaluate does exactly
+// that). That sharing is also why their Select allocates a fresh slice
+// per call rather than reusing scratch: policy-level scratch would race
+// across layer goroutines, and unlike SWA/H2O they have no per-layer
+// state to hang it from.
 
 // Dense attends to every cached token — the accuracy reference.
 type Dense struct{}
@@ -132,15 +147,83 @@ type SWA struct {
 	layers []*swaLayer
 }
 
+// swaLayer keeps the observation window as a ring of row descriptors over
+// a flat index/weight arena, plus the scratch the selection reuses across
+// steps. Pushes append to the arena and trims advance a start offset;
+// the arena compacts when its dead prefix outgrows the live data, so a
+// warmed-up layer is amortised allocation-free per decode step.
 type swaLayer struct {
-	steps []stepRow // history of observed attention rows, oldest first
-	sum   []float64 // per-position weight sum over steps[cut:]
-	cut   int       // steps[:cut] have been subtracted out of sum
+	ring  []winRow // circular descriptors, oldest at head
+	head  int      // ring index of the oldest retained row
+	count int      // retained rows
+
+	arenaIdx []int     // concatenated indices of the retained rows
+	arenaW   []float64 // concatenated weights, in lockstep with arenaIdx
+	start    int       // arena offset of the oldest live row
+
+	sum []float64 // per-position weight sum over the retained rows
+
+	selScratch
 }
 
-type stepRow struct {
-	indices []int
-	weights []float64
+// selScratch is the reusable selection state shared by the SWA and H2O
+// layer types, together with the top-k + local-window assembly both
+// policies' Select methods reduce to.
+type selScratch struct {
+	scores []float32 // per-position score vector
+	global []int     // top-k winners
+	sel    []int     // returned index slice
+	topk   tensor.TopKScratch
+}
+
+// selectTopPlusLocal builds the selection both budget-splitting policies
+// share: the top-g positions before localStart ranked by sum (ascending
+// after selection), followed by the local window [localStart, n). With
+// recencyEps, unobserved ties break toward newer tokens so cold-start
+// behaviour degrades to local attention. The result aliases the scratch.
+func (sc *selScratch) selectTopPlusLocal(sum []float64, localStart, k, n int, recencyEps bool) []int {
+	scores := growScores(&sc.scores, localStart)
+	for pos := 0; pos < localStart && pos < len(sum); pos++ {
+		scores[pos] = float32(sum[pos])
+	}
+	if recencyEps {
+		// Small recency epsilon for deterministic, recency-biased tie-breaks.
+		for pos := range scores {
+			scores[pos] += float32(pos) * 1e-12
+		}
+	}
+	g := k
+	if g > localStart {
+		g = localStart
+	}
+	sc.global = sc.topk.ArgTopK(scores, g, sc.global)
+	sortInts(sc.global)
+	sc.sel = append(sc.sel[:0], sc.global...)
+	sc.sel = appendAscending(sc.sel, localStart, n)
+	return sc.sel
+}
+
+// winRow locates one observed row inside the arenas.
+type winRow struct{ off, n int }
+
+// push appends one observed row to the window.
+func (st *swaLayer) push(indices []int, weights []float64) {
+	if st.count == len(st.ring) {
+		grown := make([]winRow, max(8, 2*len(st.ring)))
+		for i := 0; i < st.count; i++ {
+			grown[i] = st.ring[(st.head+i)%len(st.ring)]
+		}
+		st.ring = grown
+		st.head = 0
+	}
+	slot := st.head + st.count
+	if slot >= len(st.ring) {
+		slot -= len(st.ring)
+	}
+	st.ring[slot] = winRow{off: len(st.arenaIdx), n: len(indices)}
+	st.arenaIdx = append(st.arenaIdx, indices...)
+	st.arenaW = append(st.arenaW, weights...)
+	st.count++
 }
 
 // NewSWA returns a Sparse Window Attention policy with the given caching
@@ -176,7 +259,9 @@ func (p *SWA) K(n int) int {
 }
 
 // Select implements Policy: the union of locally static tokens
-// [n−k, n−1] and the top-k earlier positions by local attention sum.
+// [n−k, n−1] and the top-k earlier positions by local attention sum. The
+// returned slice is scratch owned by the layer, valid until the next
+// Select on the same layer.
 func (p *SWA) Select(layer, n int) []int {
 	if n <= 0 {
 		return nil
@@ -186,44 +271,39 @@ func (p *SWA) Select(layer, n int) []int {
 	st.trimTo(k)
 
 	localStart := n - k
-	local := ascending(localStart, n)
 	if localStart == 0 {
-		return local
+		st.sel = appendAscending(st.sel[:0], 0, n)
+		return st.sel
 	}
 
 	// Globally dynamic: top-k positions before the local window, ranked by
 	// the local attention sum S. Positions never observed score zero and
-	// lose to any observed position; ties break toward newer tokens so the
-	// cold-start behaviour degrades to local attention.
-	scores := make([]float32, localStart)
-	for pos := 0; pos < localStart && pos < len(st.sum); pos++ {
-		scores[pos] = float32(st.sum[pos])
+	// lose to any observed position.
+	return st.selectTopPlusLocal(st.sum, localStart, k, n, true)
+}
+
+// growScores returns (*buf)[:n] zeroed, growing the backing array
+// geometrically so score vectors that lengthen by one position per decode
+// step do not reallocate every call.
+func growScores(buf *[]float32, n int) []float32 {
+	if cap(*buf) < n {
+		*buf = make([]float32, max(n, 2*cap(*buf)))
 	}
-	// Small recency epsilon for deterministic, recency-biased tie-breaks.
-	for pos := range scores {
-		scores[pos] += float32(pos) * 1e-12
+	scores := (*buf)[:n]
+	for i := range scores {
+		scores[i] = 0
 	}
-	g := k
-	if g > localStart {
-		g = localStart
-	}
-	global := tensor.ArgTopK(scores, g)
-	sortInts(global)
-	return append(global, local...)
+	return scores
 }
 
 // Observe implements Policy, pushing this step's attention row into the
-// layer's local-sum window.
+// layer's local-sum window. The indices and weights are copied.
 func (p *SWA) Observe(layer int, indices []int, weights []float64) {
 	st := p.layer(layer)
-	row := stepRow{
-		indices: append([]int(nil), indices...),
-		weights: append([]float64(nil), weights...),
-	}
-	st.steps = append(st.steps, row)
-	for i, pos := range row.indices {
+	st.push(indices, weights)
+	for i, pos := range indices {
 		st.grow(pos + 1)
-		st.sum[pos] += row.weights[i]
+		st.sum[pos] += weights[i]
 	}
 }
 
@@ -241,17 +321,36 @@ func (st *swaLayer) grow(n int) {
 }
 
 // trimTo keeps only the most recent k observed rows in the running sum:
-// S = Σ AW[n−k : n−1] from Algorithm 1, maintained incrementally.
+// S = Σ AW[n−k : n−1] from Algorithm 1, maintained incrementally. Expired
+// rows become a dead arena prefix; when that prefix outgrows the live
+// data, the arena compacts in place (amortised O(1) per observed weight).
 func (st *swaLayer) trimTo(k int) {
-	for len(st.steps)-st.cut > k {
-		row := st.steps[st.cut]
-		for i, pos := range row.indices {
+	for st.count > k {
+		row := st.ring[st.head]
+		idx := st.arenaIdx[row.off : row.off+row.n]
+		w := st.arenaW[row.off : row.off+row.n]
+		for i, pos := range idx {
 			if pos < len(st.sum) {
-				st.sum[pos] -= row.weights[i]
+				st.sum[pos] -= w[i]
 			}
 		}
-		st.steps[st.cut] = stepRow{} // release for GC
-		st.cut++
+		st.start = row.off + row.n
+		st.head++
+		if st.head == len(st.ring) {
+			st.head = 0
+		}
+		st.count--
+	}
+	if st.start > len(st.arenaIdx)-st.start {
+		live := len(st.arenaIdx) - st.start
+		copy(st.arenaIdx, st.arenaIdx[st.start:])
+		copy(st.arenaW, st.arenaW[st.start:])
+		st.arenaIdx = st.arenaIdx[:live]
+		st.arenaW = st.arenaW[:live]
+		for i := 0; i < st.count; i++ {
+			st.ring[(st.head+i)%len(st.ring)].off -= st.start
+		}
+		st.start = 0
 	}
 }
 
@@ -262,18 +361,32 @@ func (st *swaLayer) trimTo(k int) {
 // behavioural difference the paper calls out in §II-B.
 type H2O struct {
 	Ratio  float64
-	layers [][]float64 // cumulative attention sum per position
+	layers []*h2oLayer
+}
+
+// h2oLayer is the cumulative attention sum plus the same selection scratch
+// swaLayer carries, reused across steps.
+type h2oLayer struct {
+	sum []float64 // cumulative attention sum per position
+
+	selScratch
 }
 
 // NewH2O returns a heavy-hitter policy with the given caching ratio.
 func NewH2O(ratio float64, layers int) *H2O {
-	return &H2O{Ratio: ratio, layers: make([][]float64, layers)}
+	p := &H2O{Ratio: ratio, layers: make([]*h2oLayer, layers)}
+	for i := range p.layers {
+		p.layers[i] = &h2oLayer{}
+	}
+	return p
 }
 
 // Name implements Policy.
 func (p *H2O) Name() string { return "h2o" }
 
 // Select implements Policy: last-k recents plus top-k cumulative scorers.
+// The returned slice is scratch owned by the layer, valid until the next
+// Select on the same layer.
 func (p *H2O) Select(layer, n int) []int {
 	if n <= 0 {
 		return nil
@@ -288,35 +401,26 @@ func (p *H2O) Select(layer, n int) []int {
 			k = 1
 		}
 	}
+	st := p.layers[layer]
 	localStart := n - k
-	local := ascending(localStart, n)
 	if localStart == 0 {
-		return local
+		st.sel = appendAscending(st.sel[:0], 0, n)
+		return st.sel
 	}
-	sums := p.layers[layer]
-	scores := make([]float32, localStart)
-	for pos := 0; pos < localStart && pos < len(sums); pos++ {
-		scores[pos] = float32(sums[pos])
-	}
-	g := k
-	if g > localStart {
-		g = localStart
-	}
-	global := tensor.ArgTopK(scores, g)
-	sortInts(global)
-	return append(global, local...)
+	// No recency epsilon: H2O ranks purely by cumulative mass, which is
+	// exactly the stale-hitter behaviour the ablation isolates.
+	return st.selectTopPlusLocal(st.sum, localStart, k, n, false)
 }
 
-// Observe implements Policy, accumulating into the global sums.
+// Observe implements Policy, accumulating into the cumulative sums.
 func (p *H2O) Observe(layer int, indices []int, weights []float64) {
-	sums := p.layers[layer]
+	st := p.layers[layer]
 	for i, pos := range indices {
-		for len(sums) <= pos {
-			sums = append(sums, 0)
+		for len(st.sum) <= pos {
+			st.sum = append(st.sum, 0)
 		}
-		sums[pos] += weights[i]
+		st.sum[pos] += weights[i]
 	}
-	p.layers[layer] = sums
 }
 
 func ascending(from, to int) []int {
@@ -328,6 +432,14 @@ func ascending(from, to int) []int {
 		idx[i] = from + i
 	}
 	return idx
+}
+
+// appendAscending appends from, from+1, …, to−1 to dst.
+func appendAscending(dst []int, from, to int) []int {
+	for i := from; i < to; i++ {
+		dst = append(dst, i)
+	}
+	return dst
 }
 
 func reverse(v []int) {

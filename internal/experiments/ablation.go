@@ -46,7 +46,7 @@ func AblationScoring() (*ScoringResult, error) {
 			attention.NewSWA(ratio, spec.Layers),
 		}
 		for _, pol := range policies {
-			ev := oracle.Evaluate(spec, pol, steps)
+			ev := evalPolicy(spec, pol, steps)
 			rho, err := ev.SpearmanVsDense()
 			if err != nil {
 				return nil, fmt.Errorf("ablation %s: %w", pol.Name(), err)

@@ -8,6 +8,20 @@ package experiments
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/attention"
+	"repro/internal/oracle"
+)
+
+// evalPolicy and evalPolicies are the accuracy-evaluation kernels every
+// experiment shares: oracle.Evaluate and oracle.EvaluateMany, the parallel
+// scratch-reusing hot path. The determinism test swaps in
+// oracle.EvaluateSequential (and a per-policy sequential loop for the
+// many-policy form) to prove rendered experiment output is byte-identical
+// to the sequential reference.
+var (
+	evalPolicy   func(oracle.Spec, attention.Policy, int) *oracle.Result     = oracle.Evaluate
+	evalPolicies func(oracle.Spec, []attention.Policy, int) []*oracle.Result = oracle.EvaluateMany
 )
 
 // Renderer is a result that can print itself for the CLI.

@@ -41,7 +41,7 @@ func Fig10() (*Fig10Result, error) {
 			if sparsity == 0 {
 				pol = attention.NewDense()
 			}
-			ev := oracle.Evaluate(spec, pol, steps)
+			ev := evalPolicy(spec, pol, steps)
 			res.Points = append(res.Points, Fig10Point{
 				Model:             name,
 				KVSparsity:        sparsity,

@@ -47,8 +47,9 @@ func Fig3() (*Fig3Result, error) {
 		perLayerN := 0
 		var total float64
 		var totalN int
+		var rows [][]float64 // step-scoped row buffers, reused every step
 		for t := 0; t < steps; t++ {
-			rows := proc.Next()
+			rows = proc.NextInto(rows)
 			var stepSum float64
 			for l, row := range rows {
 				sp := metrics.Sparsity(row, 0.01)
@@ -151,7 +152,7 @@ func Fig4() (*Fig4Result, error) {
 	}
 	res := &Fig4Result{KVSparsity: 1 - ratio}
 	for _, pol := range policies {
-		ev := oracle.Evaluate(spec, pol, steps)
+		ev := evalPolicy(spec, pol, steps)
 		rho := 1.0
 		if pol.Name() != "dense" {
 			var err error

@@ -66,23 +66,28 @@ type Fig8Result struct {
 	Cells  []Fig8Cell
 }
 
+// fig8Methods is the method axis of every Fig. 8 panel, in render order.
+var fig8Methods = []string{"dense", "local", "strided", "swa", "alisa"}
+
 // Fig8 sweeps KV sparsity for every model × dataset × attention method,
 // mapping attention-mass recall to dataset metrics anchored at published
-// dense baselines. The (model, dataset, sparsity, method) cells are
-// independent, so they evaluate on a bounded worker pool; determinism is
-// preserved because every cell derives its seed from its own coordinates
-// and results are ordered after the fact.
+// dense baselines. Cells group by (model, dataset): every cell of a group
+// shares one attention process (the seed depends only on those two
+// coordinates), so the group evaluates all its policies in a single
+// EvaluateMany pass over shared dense rows instead of regenerating the
+// process per cell. Groups are independent and run on a bounded worker
+// pool; determinism is preserved because each group derives its seed from
+// its coordinates and writes a disjoint, pre-assigned slice of the result.
 func Fig8(cfg Fig8Config) (*Fig8Result, error) {
-	type job struct {
-		model    model.Config
-		ds       workload.Dataset
-		dense    float64
-		sparsity float64
-		method   string
-		out      int // index into the results slice
+	type group struct {
+		model model.Config
+		ds    workload.Dataset
+		dense float64
+		out   int // base index of the group's cell block
 	}
 
-	var jobs []job
+	cellsPerGroup := len(cfg.Sparsities) * len(fig8Methods)
+	var groups []group
 	for _, modelName := range cfg.Models {
 		mc, err := model.ByName(modelName)
 		if err != nil {
@@ -97,73 +102,101 @@ func Fig8(cfg Fig8Config) (*Fig8Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			for _, sparsity := range cfg.Sparsities {
-				for _, method := range []string{"dense", "local", "strided", "swa", "alisa"} {
-					jobs = append(jobs, job{
-						model: mc, ds: ds, dense: dense,
-						sparsity: sparsity, method: method, out: len(jobs),
-					})
-				}
-			}
+			groups = append(groups, group{
+				model: mc, ds: ds, dense: dense,
+				out: len(groups) * cellsPerGroup,
+			})
 		}
 	}
 
-	cells := make([]Fig8Cell, len(jobs))
+	cells := make([]Fig8Cell, len(groups)*cellsPerGroup)
 	workers := runtime.GOMAXPROCS(0)
-	if workers > len(jobs) {
-		workers = len(jobs)
+	if workers > len(groups) {
+		workers = len(groups)
 	}
-	queue := make(chan job)
+	queue := make(chan group)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range queue {
-				seed := seedFor(j.model.Name, j.ds.Name)
-				recall := methodRecall(j.model, seed, j.method, 1-j.sparsity, cfg)
-				cells[j.out] = Fig8Cell{
-					Model: j.model.Name, Dataset: j.ds.Name, Task: j.ds.Task,
-					Method: j.method, KVSparsity: j.sparsity,
-					Recall: recall,
-					Metric: recallToMetric(j.ds, j.dense, recall),
+			for g := range queue {
+				recalls := groupRecalls(g.model, seedFor(g.model.Name, g.ds.Name), cfg)
+				for i, r := range recalls {
+					cells[g.out+i] = Fig8Cell{
+						Model: g.model.Name, Dataset: g.ds.Name, Task: g.ds.Task,
+						Method: r.method, KVSparsity: r.sparsity,
+						Recall: r.recall,
+						Metric: recallToMetric(g.ds, g.dense, r.recall),
+					}
 				}
 			}
 		}()
 	}
-	for _, j := range jobs {
-		queue <- j
+	for _, g := range groups {
+		queue <- g
 	}
 	close(queue)
 	wg.Wait()
 	return &Fig8Result{Config: cfg, Cells: cells}, nil
 }
 
-func methodRecall(mc model.Config, seed int64, method string, ratio float64, cfg Fig8Config) float64 {
-	if method == "dense" || ratio >= 1 {
-		if method == "alisa" {
-			return 1 - int8RecallPenalty
-		}
-		return 1
-	}
+// fig8Recall is one (sparsity, method) measurement within a group.
+type fig8Recall struct {
+	sparsity float64
+	method   string
+	recall   float64
+}
+
+// groupRecalls measures attention-mass recall for every (sparsity, method)
+// cell of one model × dataset group. All cells that need a live evaluation
+// share a single EvaluateMany pass — one attention process instead of one
+// per cell; dense and 0 %-sparsity cells have recall 1 by definition.
+func groupRecalls(mc model.Config, seed int64, cfg Fig8Config) []fig8Recall {
 	spec := oracle.SpecForModel(mc, seed)
 	spec.Layers = cfg.Layers
-	var pol attention.Policy
-	switch method {
-	case "local":
-		pol = attention.NewLocal(ratio)
-	case "strided":
-		pol = attention.NewStrided(ratio)
-	case "swa", "alisa":
-		pol = attention.NewSWA(ratio, spec.Layers)
-	default:
-		panic(fmt.Sprintf("fig8: unknown method %q", method))
+
+	recalls := make([]fig8Recall, 0, len(cfg.Sparsities)*len(fig8Methods))
+	var pols []attention.Policy
+	var evaluated []int // indices into recalls awaiting a MeanRecall
+	for _, sparsity := range cfg.Sparsities {
+		ratio := 1 - sparsity
+		for _, method := range fig8Methods {
+			r := fig8Recall{sparsity: sparsity, method: method}
+			if method == "dense" || ratio >= 1 {
+				r.recall = 1
+				if method == "alisa" {
+					r.recall = 1 - int8RecallPenalty
+				}
+				recalls = append(recalls, r)
+				continue
+			}
+			var pol attention.Policy
+			switch method {
+			case "local":
+				pol = attention.NewLocal(ratio)
+			case "strided":
+				pol = attention.NewStrided(ratio)
+			case "swa", "alisa":
+				pol = attention.NewSWA(ratio, spec.Layers)
+			default:
+				panic(fmt.Sprintf("fig8: unknown method %q", method))
+			}
+			pols = append(pols, pol)
+			evaluated = append(evaluated, len(recalls))
+			recalls = append(recalls, r)
+		}
 	}
-	recall := oracle.Evaluate(spec, pol, cfg.Steps).MeanRecall
-	if method == "alisa" {
-		recall *= 1 - int8RecallPenalty
+	if len(pols) > 0 {
+		for i, res := range evalPolicies(spec, pols, cfg.Steps) {
+			r := &recalls[evaluated[i]]
+			r.recall = res.MeanRecall
+			if r.method == "alisa" {
+				r.recall *= 1 - int8RecallPenalty
+			}
+		}
 	}
-	return recall
+	return recalls
 }
 
 func recallToMetric(ds workload.Dataset, dense, recall float64) float64 {
@@ -205,7 +238,7 @@ func (r *Fig8Result) Render() string {
 				hdr = append(hdr, fmt.Sprintf("%.0f%%", sp*100))
 			}
 			tb := textfmt.NewTable(hdr...)
-			for _, method := range []string{"dense", "local", "strided", "swa", "alisa"} {
+			for _, method := range fig8Methods {
 				row := []string{method}
 				for _, sp := range r.Config.Sparsities {
 					c, ok := r.Cell(modelName, dsName, method, sp)

@@ -105,6 +105,40 @@ func Sparsity(row []float64, threshold float64) float64 {
 	return float64(zeros) / float64(len(row))
 }
 
+// SparsityMasked returns Sparsity(row, threshold) for the implicit
+// length-rowLen row that holds weights at len(weights) distinct positions
+// and zeros everywhere else, without materialising the row — the masked
+// attention rows the policies produce, where len(weights) ≪ rowLen. The
+// result is bit-identical to materialising and calling Sparsity.
+func SparsityMasked(weights []float64, rowLen int, threshold float64) float64 {
+	if rowLen == 0 {
+		return 0
+	}
+	maxv := math.Inf(-1)
+	for _, v := range weights {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	if len(weights) < rowLen && maxv < 0 {
+		maxv = 0 // the implicit zero positions participate in the row max
+	}
+	if maxv <= 0 {
+		return 1
+	}
+	cut := threshold * maxv
+	zeros := 0
+	if 0 < cut {
+		zeros = rowLen - len(weights) // every implicit zero falls below cut
+	}
+	for _, v := range weights {
+		if v < cut {
+			zeros++
+		}
+	}
+	return float64(zeros) / float64(rowLen)
+}
+
 // MassRecall returns the fraction of total probability mass in weights that
 // the retained index set captures. This is the mechanistic accuracy proxy:
 // a sparse policy that retains nearly all attention mass produces nearly

@@ -246,3 +246,41 @@ func TestMassRecallMonotoneProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSparsityMaskedMatchesMaterialised(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 400; trial++ {
+		rowLen := 1 + rng.Intn(96)
+		k := 1 + rng.Intn(rowLen)
+		// Distinct positions for the retained weights.
+		perm := rng.Perm(rowLen)[:k]
+		weights := make([]float64, k)
+		for i := range weights {
+			switch rng.Intn(4) {
+			case 0:
+				weights[i] = 0
+			default:
+				weights[i] = rng.Float64()
+			}
+		}
+		row := make([]float64, rowLen)
+		for i, p := range perm {
+			row[p] = weights[i]
+		}
+		for _, threshold := range []float64{0.01, 0.1, 0} {
+			want := Sparsity(row, threshold)
+			got := SparsityMasked(weights, rowLen, threshold)
+			if got != want {
+				t.Fatalf("trial %d (rowLen=%d k=%d thr=%v): SparsityMasked=%v, Sparsity=%v",
+					trial, rowLen, k, threshold, got, want)
+			}
+		}
+	}
+	// Degenerate shapes.
+	if got := SparsityMasked(nil, 0, 0.01); got != 0 {
+		t.Errorf("empty row: got %v, want 0", got)
+	}
+	if got, want := SparsityMasked(nil, 5, 0.01), Sparsity(make([]float64, 5), 0.01); got != want {
+		t.Errorf("all-implicit-zero row: got %v, want %v", got, want)
+	}
+}

@@ -13,19 +13,26 @@
 // of positions and renormalising is exactly what sparse attention computes
 // for fixed scores, so masked rows derived from the dense row are exact,
 // not approximate, at the single-step level.
+//
+// Each layer runs on its own deterministic random stream, so layers are
+// mutually independent and Evaluate drives them on parallel goroutines;
+// EvaluateSequential is the retained single-goroutine reference the
+// determinism tests compare against.
 package oracle
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/attention"
 	"repro/internal/metrics"
 	"repro/internal/model"
 )
 
-// Spec parameterises an attention process.
+// Spec parameterises an attention process. A Spec must not be mutated
+// after being handed to New or Evaluate.
 type Spec struct {
 	Layers int
 	Seed   int64
@@ -95,15 +102,22 @@ func SpecForModel(cfg model.Config, seed int64) Spec {
 type Process struct {
 	Spec  Spec
 	step  int
-	rng   *rand.Rand
 	layer []*layerState
 }
 
+// layerState is one layer's independent generator: its own random stream,
+// the per-token state, and the incrementally maintained locality term.
+// The locality boost W·exp(−(t−i)/τ) decays by the constant factor
+// exp(−1/τ) each step, so it is maintained with one multiply per position
+// instead of a math.Exp call.
 type layerState struct {
-	base    []float64 // per-token importance logit, drawn at token birth
+	rng     *rand.Rand
+	tempo   float64 // per-layer concentration jitter
+	decay   float64 // exp(−1/τ), the per-step locality decay factor
+	static  []float64
 	hitter  []float64 // current hitter boost per token (0 when cold)
 	expires []int     // step at which the hitter boost lapses
-	tempo   float64   // per-layer concentration jitter
+	loc     []float64 // locality boost per token, decayed in place
 }
 
 // New returns a Process for the given spec.
@@ -113,15 +127,30 @@ func New(spec Spec) *Process {
 	}
 	p := &Process{
 		Spec:  spec,
-		rng:   rand.New(rand.NewSource(spec.Seed)),
 		layer: make([]*layerState, spec.Layers),
 	}
+	// Layers differ in sharpness (Fig. 3 shows per-layer spread) and each
+	// gets its own random stream; both derive deterministically from the
+	// spec seed, so layers can advance independently — the property the
+	// parallel Evaluate relies on.
+	master := rand.New(rand.NewSource(spec.Seed))
+	decay := localityDecay(spec.LocalityTau)
 	for i := range p.layer {
-		// Layers differ in sharpness (Fig. 3 shows per-layer spread); the
-		// jitter is deterministic in the seed.
-		p.layer[i] = &layerState{tempo: 0.75 + 0.5*p.rng.Float64()}
+		tempo := 0.75 + 0.5*master.Float64()
+		p.layer[i] = &layerState{
+			rng:   rand.New(rand.NewSource(master.Int63())),
+			tempo: tempo,
+			decay: decay,
+		}
 	}
 	return p
+}
+
+func localityDecay(tau float64) float64 {
+	if tau <= 0 {
+		return 0
+	}
+	return math.Exp(-1 / tau)
 }
 
 // Step reports how many steps the process has generated.
@@ -129,59 +158,97 @@ func (p *Process) Step() int { return p.step }
 
 // Next advances one decode step and returns one dense attention row per
 // layer. Row l has length Step() (positions 0..t inclusive of the new
-// token, which is last) and sums to 1.
+// token, which is last) and sums to 1. Each call allocates fresh rows;
+// hot paths should use NextInto.
 func (p *Process) Next() [][]float64 {
-	t := p.step
-	rows := make([][]float64, p.Spec.Layers)
-	for l, st := range p.layer {
-		// Birth of token t on this layer.
-		st.base = append(st.base, p.rng.NormFloat64())
-		st.hitter = append(st.hitter, 0)
-		st.expires = append(st.expires, 0)
-		if p.rng.Float64() < p.Spec.HitterRate {
-			st.hitter[t] = p.Spec.HitterBoost * (0.5 + p.rng.ExpFloat64())
-			life := 1 + int(float64(p.Spec.HitterLifetime)*p.rng.ExpFloat64())
-			st.expires[t] = t + life
-		}
+	return p.NextInto(make([][]float64, p.Spec.Layers))
+}
 
-		logits := make([]float64, t+1)
-		conc := p.Spec.Concentration * st.tempo
-		for i := 0; i <= t; i++ {
-			if st.expires[i] <= t {
-				st.hitter[i] = 0
-			}
-			dist := float64(t - i)
-			logit := conc*st.base[i] + st.hitter[i]
-			logit += p.Spec.LocalityWeight * math.Exp(-dist/p.Spec.LocalityTau)
-			if i == 0 {
-				logit += p.Spec.SinkBoost
-			}
-			logits[i] = logit
-		}
-		rows[l] = softmax(logits)
+// NextInto is the allocation-free variant of Next: it reuses the backing
+// arrays of rows (grown as needed) and returns the slice resized to the
+// layer count. The returned rows are valid until the next NextInto call.
+func (p *Process) NextInto(rows [][]float64) [][]float64 {
+	for len(rows) < p.Spec.Layers {
+		rows = append(rows, nil)
+	}
+	rows = rows[:p.Spec.Layers]
+	for l, st := range p.layer {
+		rows[l] = st.advance(&p.Spec, p.step, rows[l])
 	}
 	p.step++
 	return rows
 }
 
-func softmax(logits []float64) []float64 {
+// reserve pre-sizes the per-token state for a run of the given length so
+// the append-per-step in advance never regrows mid-run.
+func (st *layerState) reserve(steps int) {
+	if cap(st.static) >= steps {
+		return
+	}
+	st.static = append(make([]float64, 0, steps), st.static...)
+	st.hitter = append(make([]float64, 0, steps), st.hitter...)
+	st.expires = append(make([]int, 0, steps), st.expires...)
+	st.loc = append(make([]float64, 0, steps), st.loc...)
+}
+
+// advance generates the layer's dense attention row for decode step t into
+// dst's backing array (grown as needed) and returns it with length t+1.
+func (st *layerState) advance(spec *Spec, t int, dst []float64) []float64 {
+	// Birth of token t on this layer. The static part of its logit —
+	// concentration-scaled importance plus the position-0 sink boost —
+	// never changes, so it is computed once here.
+	stat := spec.Concentration * st.tempo * st.rng.NormFloat64()
+	if t == 0 {
+		stat += spec.SinkBoost
+	}
+	st.static = append(st.static, stat)
+	st.hitter = append(st.hitter, 0)
+	st.expires = append(st.expires, 0)
+	if st.rng.Float64() < spec.HitterRate {
+		st.hitter[t] = spec.HitterBoost * (0.5 + st.rng.ExpFloat64())
+		life := 1 + int(float64(spec.HitterLifetime)*st.rng.ExpFloat64())
+		st.expires[t] = t + life
+	}
+
+	// One multiply per position replaces the per-step math.Exp: the
+	// locality term decays by the constant factor exp(−1/τ) each step.
+	for i := range st.loc {
+		st.loc[i] *= st.decay
+	}
+	st.loc = append(st.loc, spec.LocalityWeight)
+
+	if cap(dst) < t+1 {
+		dst = make([]float64, t+1, max(t+1, 2*cap(dst)))
+	} else {
+		dst = dst[:t+1]
+	}
+	for i := 0; i <= t; i++ {
+		if st.expires[i] <= t {
+			st.hitter[i] = 0
+		}
+		dst[i] = st.static[i] + st.hitter[i] + st.loc[i]
+	}
+	softmaxInPlace(dst)
+	return dst
+}
+
+// softmaxInPlace applies a numerically stable softmax to v.
+func softmaxInPlace(v []float64) {
 	maxv := math.Inf(-1)
-	for _, v := range logits {
-		if v > maxv {
-			maxv = v
+	for _, x := range v {
+		if x > maxv {
+			maxv = x
 		}
 	}
-	out := make([]float64, len(logits))
 	var sum float64
-	for i, v := range logits {
-		e := math.Exp(v - maxv)
-		out[i] = e
+	for i, x := range v {
+		e := math.Exp(x - maxv)
+		v[i] = e
 		sum += e
 	}
-	for i := range out {
-		out[i] /= sum
+	for i := range v {
+		v[i] /= sum
 	}
-	return out
 }
 
 // MaskRow restricts the dense row to the retained cache indices plus the
@@ -190,20 +257,30 @@ func softmax(logits []float64) []float64 {
 // It returns the retained global indices (current token last) and their
 // renormalised weights.
 func MaskRow(dense []float64, selected []int) (indices []int, weights []float64) {
+	indices, weights, _ = maskRowInto(dense, selected, nil, nil)
+	return indices, weights
+}
+
+// maskRowInto is the scratch-reusing core of MaskRow. It writes the
+// retained indices (current token last) into idx[:0] and their
+// renormalised weights into w[:0], and additionally returns the retained
+// raw attention mass (the pre-normalisation weight sum).
+func maskRowInto(dense []float64, selected []int, idx []int, w []float64) ([]int, []float64, float64) {
 	cur := len(dense) - 1
-	indices = append(append([]int(nil), selected...), cur)
-	weights = make([]float64, len(indices))
+	idx = append(idx[:0], selected...)
+	idx = append(idx, cur)
+	w = w[:0]
 	var sum float64
-	for i, idx := range indices {
-		weights[i] = dense[idx]
-		sum += dense[idx]
+	for _, i := range idx {
+		w = append(w, dense[i])
+		sum += dense[i]
 	}
 	if sum > 0 {
-		for i := range weights {
-			weights[i] /= sum
+		for i := range w {
+			w[i] /= sum
 		}
 	}
-	return indices, weights
+	return idx, w, sum
 }
 
 // Result aggregates an Evaluate run.
@@ -229,14 +306,195 @@ type Result struct {
 	DenseAvgScore []float64
 }
 
+// layerAccum collects one layer's per-step measurements; merge combines
+// the layers in deterministic layer order, so parallel and sequential
+// evaluation produce bit-identical Results.
+type layerAccum struct {
+	recall        []float64
+	denseSp       []float64
+	maskedSp      []float64
+	avgScore      []float64
+	denseAvgScore []float64
+}
+
+func newLayerAccum(steps int) *layerAccum {
+	return &layerAccum{
+		recall:        make([]float64, steps),
+		denseSp:       make([]float64, steps),
+		maskedSp:      make([]float64, steps),
+		avgScore:      make([]float64, steps),
+		denseAvgScore: make([]float64, steps),
+	}
+}
+
 // Evaluate runs a policy against a fresh process for the given number of
 // steps, feeding the policy masked attention rows exactly as a sparse
 // decoder would, and collecting recall, sparsity, and score-distribution
 // measurements.
+//
+// Layers evaluate concurrently, one goroutine per layer: every layer has
+// its own random stream and policies confine per-layer state to the layer
+// index (see attention.Policy). Results merge in deterministic layer
+// order, so Evaluate returns bit-identical results to the sequential
+// reference EvaluateSequential.
 func Evaluate(spec Spec, pol attention.Policy, steps int) *Result {
+	return EvaluateMany(spec, []attention.Policy{pol}, steps)[0]
+}
+
+// EvaluateMany evaluates several policies against the *same* attention
+// process, amortising row generation and the dense-row measurements
+// (which do not depend on the policy) across all of them. Each policy
+// observes only its own masked rows, so EvaluateMany(spec, pols, steps)[i]
+// is bit-identical to Evaluate(spec, pols[i], steps) with a fresh policy —
+// the sweep experiments lean on this to avoid regenerating one process per
+// (policy, sparsity) cell. Policies must be distinct instances.
+func EvaluateMany(spec Spec, pols []attention.Policy, steps int) []*Result {
 	proc := New(spec)
+	per := make([][]*layerAccum, spec.Layers) // [layer][policy]
+	panics := make([]any, spec.Layers)
+	var wg sync.WaitGroup
+	for l := 0; l < spec.Layers; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[l] = r
+				}
+			}()
+			per[l] = evalLayerFast(&proc.Spec, proc.layer[l], pols, l, steps)
+		}(l)
+	}
+	wg.Wait()
+	for _, r := range panics {
+		if r != nil {
+			panic(r)
+		}
+	}
+	results := make([]*Result, len(pols))
+	for pi, pol := range pols {
+		perLayer := make([]*layerAccum, spec.Layers)
+		for l := range perLayer {
+			perLayer[l] = per[l][pi]
+		}
+		results[pi] = mergeLayers(pol.Name(), steps, perLayer)
+	}
+	return results
+}
+
+// EvaluateSequential is the retained reference implementation of Evaluate:
+// one goroutine, straightforward per-step allocations, and the public
+// metrics helpers instead of the fused scratch-reusing kernels. The
+// determinism regression tests assert Evaluate reproduces its results
+// exactly; it is also the ground truth for the golden values recorded in
+// EXPERIMENTS.md.
+func EvaluateSequential(spec Spec, pol attention.Policy, steps int) *Result {
+	proc := New(spec)
+	per := make([]*layerAccum, spec.Layers)
+	for l := 0; l < spec.Layers; l++ {
+		per[l] = evalLayerReference(&proc.Spec, proc.layer[l], pol, l, steps)
+	}
+	return mergeLayers(pol.Name(), steps, per)
+}
+
+// evalLayerFast is the allocation-free per-layer evaluation loop: the
+// dense row, mask index/weight pairs, and selection scratch all live in
+// step-scoped buffers reused across the whole run, the masked-row
+// sparsity is computed directly from the retained weights instead of
+// materialising the full-length row, and the policy-independent dense-row
+// measurements are computed once per step and shared across all policies.
+func evalLayerFast(spec *Spec, st *layerState, pols []attention.Policy, l, steps int) []*layerAccum {
+	accs := make([]*layerAccum, len(pols))
+	for i := range accs {
+		accs[i] = newLayerAccum(steps)
+	}
+	st.reserve(steps)
+	row := make([]float64, 0, steps)
+	denseAvg := make([]float64, steps)
+	var idxBuf []int
+	var wBuf []float64
+	for t := 0; t < steps; t++ {
+		row = st.advance(spec, t, row)
+
+		var total float64
+		for _, w := range row {
+			total += w
+		}
+		denseSp := metrics.Sparsity(row, 0.01)
+		for i, w := range row {
+			denseAvg[i] += w
+		}
+
+		for pi, pol := range pols {
+			acc := accs[pi]
+			sel := pol.Select(l, t) // t cached tokens before this step
+
+			var kept float64
+			idxBuf, wBuf, kept = maskRowInto(row, sel, idxBuf, wBuf)
+
+			// Recall over the cached positions plus current token. Retained
+			// indices are distinct by construction (ascending policy indices
+			// below t, then t itself), so the raw retained mass over total
+			// mass equals metrics.MassRecall.
+			if total == 0 {
+				acc.recall[t] = 1
+			} else {
+				acc.recall[t] = kept / total
+			}
+
+			acc.denseSp[t] = denseSp
+			acc.maskedSp[t] = metrics.SparsityMasked(wBuf, len(row), 0.01)
+
+			for i, idx := range idxBuf {
+				acc.avgScore[idx] += wBuf[i]
+			}
+			pol.Observe(l, idxBuf, wBuf)
+		}
+	}
+	for _, acc := range accs {
+		copy(acc.denseAvgScore, denseAvg)
+	}
+	return accs
+}
+
+// evalLayerReference mirrors evalLayerFast with fresh allocations per step
+// and the original public helpers (MaskRow, metrics.MassRecall,
+// materialised masked rows), making it the simple-but-slow oracle the
+// fused hot path is validated against.
+func evalLayerReference(spec *Spec, st *layerState, pol attention.Policy, l, steps int) *layerAccum {
+	acc := newLayerAccum(steps)
+	for t := 0; t < steps; t++ {
+		row := st.advance(spec, t, nil)
+		sel := pol.Select(l, t)
+		indices, weights := MaskRow(row, sel)
+
+		acc.recall[t] = metrics.MassRecall(row, indices)
+		acc.denseSp[t] = metrics.Sparsity(row, 0.01)
+		masked := make([]float64, len(row))
+		for i, idx := range indices {
+			masked[idx] = weights[i]
+		}
+		acc.maskedSp[t] = metrics.Sparsity(masked, 0.01)
+
+		for i, idx := range indices {
+			acc.avgScore[idx] += weights[i]
+		}
+		for i, w := range row {
+			acc.denseAvgScore[i] += w
+		}
+		pol.Observe(l, indices, weights)
+	}
+	return acc
+}
+
+// mergeLayers combines per-layer accumulators into a Result. The merge is
+// fully deterministic: per-step statistics sum in ascending layer order
+// and per-position scores sum layer-by-layer, independent of the order
+// the layer goroutines finished in.
+func mergeLayers(policyName string, steps int, per []*layerAccum) *Result {
+	layers := float64(len(per))
 	res := &Result{
-		PolicyName:            pol.Name(),
+		PolicyName:            policyName,
 		Steps:                 steps,
 		RecallPerStep:         make([]float64, steps),
 		DenseSparsityPerStep:  make([]float64, steps),
@@ -244,54 +502,31 @@ func Evaluate(spec Spec, pol attention.Policy, steps int) *Result {
 		AvgScore:              make([]float64, steps),
 		DenseAvgScore:         make([]float64, steps),
 	}
-	counts := make([]float64, steps)
 	var recallSum float64
-	var recallN int
-
 	for t := 0; t < steps; t++ {
-		rows := proc.Next()
 		var stepRecall, stepDenseSp, stepMaskedSp float64
-		for l, dense := range rows {
-			sel := pol.Select(l, t) // t cached tokens before this step
-			indices, weights := MaskRow(dense, sel)
-
-			// Recall over the cached positions plus current token.
-			recall := metrics.MassRecall(dense, indices)
-			stepRecall += recall
-			recallSum += recall
-			recallN++
-
-			stepDenseSp += metrics.Sparsity(dense, 0.01)
-			masked := make([]float64, len(dense))
-			for i, idx := range indices {
-				masked[idx] = weights[i]
-			}
-			stepMaskedSp += metrics.Sparsity(masked, 0.01)
-
-			for i, idx := range indices {
-				res.AvgScore[idx] += weights[i]
-			}
-			for i, w := range dense {
-				res.DenseAvgScore[i] += w
-			}
-			_ = l
-			pol.Observe(l, indices, weights)
+		for _, acc := range per {
+			stepRecall += acc.recall[t]
+			stepDenseSp += acc.denseSp[t]
+			stepMaskedSp += acc.maskedSp[t]
+			recallSum += acc.recall[t]
 		}
-		layers := float64(len(rows))
 		res.RecallPerStep[t] = stepRecall / layers
 		res.DenseSparsityPerStep[t] = stepDenseSp / layers
 		res.MaskedSparsityPerStep[t] = stepMaskedSp / layers
-		for i := 0; i <= t; i++ {
-			counts[i] += layers
-		}
 	}
-	for i := range res.AvgScore {
-		if counts[i] > 0 {
-			res.AvgScore[i] /= counts[i]
-			res.DenseAvgScore[i] /= counts[i]
+	for i := 0; i < steps; i++ {
+		// Position i exists from step i on, on every layer.
+		count := layers * float64(steps-i)
+		var score, dense float64
+		for _, acc := range per {
+			score += acc.avgScore[i]
+			dense += acc.denseAvgScore[i]
 		}
+		res.AvgScore[i] = score / count
+		res.DenseAvgScore[i] = dense / count
 	}
-	res.MeanRecall = recallSum / float64(recallN)
+	res.MeanRecall = recallSum / (float64(steps) * layers)
 	return res
 }
 
@@ -309,9 +544,10 @@ func (r *Result) SpearmanVsDense() (float64, error) {
 func AttentionMap(spec Spec, seqLen int) [][]float64 {
 	proc := New(spec)
 	m := make([][]float64, seqLen)
+	var rows [][]float64
 	for i := range m {
 		m[i] = make([]float64, seqLen)
-		rows := proc.Next()
+		rows = proc.NextInto(rows)
 		for _, row := range rows {
 			for j, w := range row {
 				m[i][j] += w

@@ -256,33 +256,137 @@ func Sum(v []float32) float64 {
 // ArgTopK returns the indices of the k largest values of v in descending
 // value order. Ties break toward the lower index, matching a stable argmax
 // over repeated scans. k is clamped to len(v).
+//
+// This is the allocating convenience wrapper; hot paths should hold a
+// TopKScratch and call its ArgTopK to amortise the index permutation.
 func ArgTopK(v []float32, k int) []int {
 	if k <= 0 {
 		return nil
 	}
+	var s TopKScratch
+	return s.ArgTopK(v, k, nil)
+}
+
+// TopKScratch holds the reusable index permutation behind ArgTopK so
+// repeated selections over same-sized inputs allocate nothing after the
+// first call. The zero value is ready to use. Not safe for concurrent use.
+type TopKScratch struct {
+	perm []int
+}
+
+// ArgTopK selects the indices of the k largest values of v, written into
+// dst[:0] (grown as needed) and returned in descending value order with
+// ties breaking toward the lower index — the same total order as the
+// package-level ArgTopK. It runs an O(n) deterministic quickselect
+// (median-of-three pivots) followed by an O(k log k) sort of the winners,
+// replacing the previous O(k·n) repeated-max scan. k is clamped to len(v).
+func (s *TopKScratch) ArgTopK(v []float32, k int, dst []int) []int {
 	if k > len(v) {
 		k = len(v)
 	}
-	// Selection by repeated max keeps deterministic tie-breaking and is
-	// O(k·n); k is a handful of tokens per step, so this beats a heap in
-	// practice for the sizes the policies use.
-	idx := make([]int, 0, k)
-	taken := make([]bool, len(v))
-	for range make([]struct{}, k) {
-		best := -1
-		var bestV float32
-		for i, x := range v {
-			if taken[i] {
-				continue
-			}
-			if best == -1 || x > bestV {
-				best, bestV = i, x
-			}
-		}
-		taken[best] = true
-		idx = append(idx, best)
+	if k <= 0 {
+		return dst[:0]
 	}
-	return idx
+	if cap(s.perm) < len(v) {
+		// Grow geometrically: selections over steadily lengthening inputs
+		// (one new token per decode step) must not reallocate every call.
+		s.perm = make([]int, max(len(v), 2*cap(s.perm)))
+	}
+	perm := s.perm[:len(v)]
+	for i := range perm {
+		perm[i] = i
+	}
+	topKSelect(v, perm, k)
+	topKSort(v, perm[:k])
+	return append(dst[:0], perm[:k]...)
+}
+
+// topKBefore is the strict total order of the selection: larger value
+// first, equal values ordered by ascending index. Because the index breaks
+// every tie, no two distinct perm entries compare equal, which keeps the
+// Hoare partition below well-defined.
+func topKBefore(v []float32, a, b int) bool {
+	if v[a] != v[b] {
+		return v[a] > v[b]
+	}
+	return a < b
+}
+
+// topKPartition runs a Hoare partition on perm[lo:hi] (hi−lo > 2) around
+// a median-of-three pivot (which guards against the already-sorted score
+// vectors the policies produce). On return, entries in perm[lo:j+1]
+// precede the pivot band and entries in perm[i:hi] follow it, with
+// j+1 ≤ i; any entries in perm[j+1:i] are settled in their final
+// positions under topKBefore.
+func topKPartition(v []float32, perm []int, lo, hi int) (i, j int) {
+	mid := lo + (hi-lo)/2
+	if topKBefore(v, perm[mid], perm[lo]) {
+		perm[mid], perm[lo] = perm[lo], perm[mid]
+	}
+	if topKBefore(v, perm[hi-1], perm[lo]) {
+		perm[hi-1], perm[lo] = perm[lo], perm[hi-1]
+	}
+	if topKBefore(v, perm[hi-1], perm[mid]) {
+		perm[hi-1], perm[mid] = perm[mid], perm[hi-1]
+	}
+	pivot := perm[mid]
+	i, j = lo, hi-1
+	for i <= j {
+		for topKBefore(v, perm[i], pivot) {
+			i++
+		}
+		for topKBefore(v, pivot, perm[j]) {
+			j--
+		}
+		if i <= j {
+			perm[i], perm[j] = perm[j], perm[i]
+			i++
+			j--
+		}
+	}
+	return i, j
+}
+
+// topKSelect partially orders perm so that perm[:k] holds the first k
+// entries under topKBefore, in arbitrary order. Average O(len(perm)).
+func topKSelect(v []float32, perm []int, k int) {
+	lo, hi := 0, len(perm)
+	for hi-lo > 12 {
+		i, j := topKPartition(v, perm, lo, hi)
+		switch {
+		case k <= j+1:
+			hi = j + 1
+		case k >= i:
+			lo = i
+		default:
+			return // boundary falls inside the settled [j+1, i) band
+		}
+	}
+	topKInsertionSort(v, perm[lo:hi])
+}
+
+// topKSort fully orders perm under topKBefore (quicksort, insertion base).
+func topKSort(v []float32, perm []int) {
+	for len(perm) > 12 {
+		i, j := topKPartition(v, perm, 0, len(perm))
+		// Recurse into the smaller side, loop on the larger.
+		if j+1 < len(perm)-i {
+			topKSort(v, perm[:j+1])
+			perm = perm[i:]
+		} else {
+			topKSort(v, perm[i:])
+			perm = perm[:j+1]
+		}
+	}
+	topKInsertionSort(v, perm)
+}
+
+func topKInsertionSort(v []float32, perm []int) {
+	for i := 1; i < len(perm); i++ {
+		for j := i; j > 0 && topKBefore(v, perm[j], perm[j-1]); j-- {
+			perm[j], perm[j-1] = perm[j-1], perm[j]
+		}
+	}
 }
 
 // LayerNorm normalises v in place to zero mean and unit variance, then

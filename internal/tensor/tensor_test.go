@@ -369,3 +369,112 @@ func TestNegativeDimensionsPanics(t *testing.T) {
 	}()
 	New(-1, 2)
 }
+
+// argTopKReference is the original O(k·n) repeated-max selection, retained
+// as the semantic oracle for the quickselect implementation: descending
+// value order, ties toward the lower index.
+func argTopKReference(v []float32, k int) []int {
+	if k <= 0 {
+		return nil
+	}
+	if k > len(v) {
+		k = len(v)
+	}
+	idx := make([]int, 0, k)
+	taken := make([]bool, len(v))
+	for range make([]struct{}, k) {
+		best := -1
+		var bestV float32
+		for i, x := range v {
+			if taken[i] {
+				continue
+			}
+			if best == -1 || x > bestV {
+				best, bestV = i, x
+			}
+		}
+		taken[best] = true
+		idx = append(idx, best)
+	}
+	return idx
+}
+
+func TestArgTopKMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var scratch TopKScratch
+	var dst []int
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(64)
+		v := make([]float32, n)
+		for i := range v {
+			if rng.Intn(3) == 0 {
+				// Force heavy ties to exercise the index tie-break.
+				v[i] = float32(rng.Intn(4))
+			} else {
+				v[i] = float32(rng.NormFloat64())
+			}
+		}
+		k := rng.Intn(n + 2)
+		want := argTopKReference(v, k)
+		got := ArgTopK(v, k)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: len %d, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (n=%d k=%d): got %v, want %v\nv=%v", trial, n, k, got, want, v)
+			}
+		}
+		dst = scratch.ArgTopK(v, k, dst)
+		if len(dst) != len(want) {
+			t.Fatalf("trial %d: scratch len %d, want %d", trial, len(dst), len(want))
+		}
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("trial %d: scratch got %v, want %v", trial, dst, want)
+			}
+		}
+	}
+}
+
+func TestArgTopKSortedInputs(t *testing.T) {
+	// Ascending, descending, and constant inputs are the quickselect's
+	// classic worst cases; median-of-three must keep them linear and exact.
+	const n = 512
+	shapes := map[string]func(i int) float32{
+		"ascending":  func(i int) float32 { return float32(i) },
+		"descending": func(i int) float32 { return float32(n - i) },
+		"constant":   func(i int) float32 { return 1 },
+	}
+	var scratch TopKScratch
+	for name, f := range shapes {
+		v := make([]float32, n)
+		for i := range v {
+			v[i] = f(i)
+		}
+		for _, k := range []int{1, 7, n / 2, n - 1, n} {
+			want := argTopKReference(v, k)
+			got := scratch.ArgTopK(v, k, nil)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s k=%d: got[%d]=%d, want %d", name, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkArgTopK(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	v := make([]float32, 512)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	var scratch TopKScratch
+	var dst []int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = scratch.ArgTopK(v, 102, dst)
+	}
+}

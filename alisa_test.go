@@ -121,3 +121,33 @@ func TestCatalogs(t *testing.T) {
 		t.Fatalf("schedulers = %v", Schedulers())
 	}
 }
+
+func TestServePublicAPI(t *testing.T) {
+	res, err := Serve(ServeOptions{
+		Model: "opt-6.7b", Scheduler: "alisa",
+		Trace:      PoissonTrace(12, 2, 3),
+		KVSparsity: 0.8, KVBits: 8,
+		MaxBatch: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Requests) != 12 {
+		t.Fatalf("completed %d of 12 requests", len(res.Requests))
+	}
+	if res.Goodput <= 0 || res.Throughput <= 0 {
+		t.Fatalf("goodput %v / throughput %v not positive", res.Goodput, res.Throughput)
+	}
+	if res.TTFT.P99 <= 0 || res.TPOT.P50 <= 0 {
+		t.Fatalf("latency summaries empty: TTFT %+v TPOT %+v", res.TTFT, res.TPOT)
+	}
+}
+
+func TestServePublicAPIErrors(t *testing.T) {
+	if _, err := Serve(ServeOptions{Model: "nope", Scheduler: "alisa", Trace: UniformTrace(1, 0, 8, 8), KVBits: 16}); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if _, err := Serve(ServeOptions{Model: "opt-6.7b", Scheduler: "deepspeed-zero", Trace: UniformTrace(1, 0, 8, 8), KVBits: 16}); err == nil {
+		t.Error("deepspeed-zero accepted as serving policy")
+	}
+}

@@ -224,6 +224,51 @@ func (c Cost) DecodeLayerTime(cfg model.Config, batch, attended, kvBytes int, sw
 	return mha, f.Seconds
 }
 
+// RaggedDecodeTime returns the model-wide MHA and FFN times of one fused
+// continuous-batching decode iteration over a dynamic batch whose
+// sequences attend to heterogeneous token counts. Projections and the FFN
+// run as single batch-wide GEMMs (one row per sequence); the attention
+// kernels run raggedly — each sequence reads its own attended KV — but
+// launch once per kernel class, so only the first sequence pays the
+// per-kernel launch latency. For a single sequence this reduces exactly
+// to DecodeLayerTime at batch 1 summed over layers, keeping the serving
+// loop's charges consistent with the lockstep engine's.
+func (c Cost) RaggedDecodeTime(cfg model.Config, attended []int, kvBytes int, swa bool) (mha, ffn float64) {
+	b := len(attended)
+	if b == 0 {
+		return 0, 0
+	}
+	h := int64(cfg.Hidden)
+	proj := c.GEMM(int64(b), h, 4*h, 2)
+	mhaLayer := proj.Seconds
+
+	kernels := 3.0 // QKT, softmax, AV
+	if swa {
+		kernels = 5 // + local sum, gather
+	}
+	for _, sel := range attended {
+		ac := AttnConfig{
+			Batch:    1,
+			Hidden:   cfg.Hidden,
+			Heads:    cfg.Heads,
+			Attended: sel,
+			BytesKV:  kvBytes,
+		}
+		if swa {
+			ac.LocalWindow = sel / 2
+		}
+		br := c.Attention(ac)
+		mhaLayer += br.Total() - br.QProj.Seconds // projection fused above
+	}
+	mhaLayer -= float64(b-1) * kernels * launchLatency
+	if swa {
+		mhaLayer += sparseBookkeeping
+	}
+	layers := float64(cfg.Layers)
+	ffnLayer := c.FFNTime(b, cfg.Hidden, cfg.FFN, cfg.GatedFFN)
+	return mhaLayer * layers, ffnLayer.Seconds * layers
+}
+
 // PrefillTime returns the time to prefill a batch of prompts of length s:
 // projection GEMMs at batch·s rows plus causal (half-square) attention,
 // where each sequence multiplies against its own keys and values.

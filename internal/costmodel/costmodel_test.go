@@ -1,6 +1,7 @@
 package costmodel
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/memsim"
@@ -173,5 +174,50 @@ func TestDecodeLayerTimeShape(t *testing.T) {
 func TestSampleEffFLOPSZeroSafe(t *testing.T) {
 	if (Sample{}).EffFLOPS() != 0 {
 		t.Fatal("zero sample should report zero FLOPS")
+	}
+}
+
+func TestRaggedDecodeTimeSingleMatchesLockstep(t *testing.T) {
+	c := New(memsim.V100_16G())
+	cfg := model.MustByName("opt-6.7b")
+	for _, swa := range []bool{false, true} {
+		for _, sel := range []int{1, 17, 300} {
+			mhaLock, ffnLock := c.DecodeLayerTime(cfg, 1, sel, 2, swa)
+			layers := float64(cfg.Layers)
+			mha, ffn := c.RaggedDecodeTime(cfg, []int{sel}, 2, swa)
+			if math.Abs(mha-mhaLock*layers) > mha*1e-12 || math.Abs(ffn-ffnLock*layers) > ffn*1e-12 {
+				t.Errorf("swa=%v sel=%d: ragged single (%.12g, %.12g) != lockstep batch-1 (%.12g, %.12g)",
+					swa, sel, mha, ffn, mhaLock*layers, ffnLock*layers)
+			}
+		}
+	}
+}
+
+func TestRaggedDecodeTimeProperties(t *testing.T) {
+	c := New(memsim.V100_16G())
+	cfg := model.MustByName("opt-6.7b")
+	if m, f := c.RaggedDecodeTime(cfg, nil, 2, false); m != 0 || f != 0 {
+		t.Errorf("empty batch costs (%v, %v)", m, f)
+	}
+	total := func(attended []int) float64 {
+		m, f := c.RaggedDecodeTime(cfg, attended, 2, true)
+		if m <= 0 || f <= 0 {
+			t.Fatalf("non-positive charge (%v, %v) for %v", m, f, attended)
+		}
+		return m + f
+	}
+	// Fusing beats running the sequences as separate batch-1 iterations.
+	attended := []int{64, 512, 129, 1000}
+	fused := total(attended)
+	var separate float64
+	for _, sel := range attended {
+		separate += total([]int{sel})
+	}
+	if fused >= separate {
+		t.Errorf("fused iteration %.6g not cheaper than separate %.6g", fused, separate)
+	}
+	// Monotone in any sequence's attended count.
+	if more := total([]int{64, 512, 400, 1000}); more <= fused {
+		t.Errorf("more attended tokens not more expensive: %.6g <= %.6g", more, fused)
 	}
 }

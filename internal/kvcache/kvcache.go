@@ -81,6 +81,29 @@ func (s *TokenStore) Move(i int, to Location) {
 // Count returns how many positions live at loc.
 func (s *TokenStore) Count(loc Location) int { return s.counts[loc] }
 
+// Counts returns the populations of all three locations at once — the
+// partition the byte-accounting invariants are stated over.
+func (s *TokenStore) Counts() (gpu, cpu, deleted int) {
+	return s.counts[GPU], s.counts[CPU], s.counts[Deleted]
+}
+
+// Bytes returns the resident byte totals of the sequence at tokenBytes per
+// position. Deleted positions hold no memory.
+func (s *TokenStore) Bytes(tokenBytes int64) (gpu, cpu int64) {
+	if tokenBytes < 0 {
+		panic(fmt.Sprintf("kvcache: negative token bytes %d", tokenBytes))
+	}
+	return int64(s.counts[GPU]) * tokenBytes, int64(s.counts[CPU]) * tokenBytes
+}
+
+// Reset empties the store, releasing its positions for reuse — the
+// free-on-completion hook of the serving loop. The backing array is
+// retained so a recycled sequence reallocates nothing.
+func (s *TokenStore) Reset() {
+	s.loc = s.loc[:0]
+	s.counts = [3]int{}
+}
+
 // OldestIn returns up to max position indices at loc, oldest first — the
 // eviction order of both ALISA's offload heuristic ("store the preceding
 // ones in the CPU") and its Phase III deletion ("delete the oldest KV
@@ -185,6 +208,16 @@ func (b *BlockStore) Append() bool {
 // beyond one block.
 func (b *BlockStore) AllocatedTokens() int { return len(b.blocks) * b.blockSize }
 
+// WouldGrow reports whether the next Append allocates a new block —
+// letting callers reserve the block's memory before mutating the store.
+func (b *BlockStore) WouldGrow() bool { return b.tokens == len(b.blocks)*b.blockSize }
+
+// Reset empties the store for reuse after its sequence completes.
+func (b *BlockStore) Reset() {
+	b.blocks = b.blocks[:0]
+	b.tokens = 0
+}
+
 // BlocksIn counts blocks at the given location.
 func (b *BlockStore) BlocksIn(loc Location) int {
 	n := 0
@@ -242,6 +275,9 @@ func NewHeadStore(heads, gpuHeads int) *HeadStore {
 
 // Append adds one token position.
 func (h *HeadStore) Append() { h.tokens++ }
+
+// Reset empties the store for reuse after its sequence completes.
+func (h *HeadStore) Reset() { h.tokens = 0 }
 
 // Tokens returns the number of stored token positions.
 func (h *HeadStore) Tokens() int { return h.tokens }

@@ -232,6 +232,39 @@ func Percentile(v []float64, p float64) float64 {
 	}
 	s := append([]float64(nil), v...)
 	sort.Float64s(s)
+	return sortedPercentile(s, p)
+}
+
+// LatencySummary is the percentile digest the serving evaluation reports
+// for each latency distribution (TTFT, TPOT, end-to-end).
+type LatencySummary struct {
+	Mean float64
+	P50  float64
+	P95  float64
+	P99  float64
+	Max  float64
+}
+
+// Summarize digests v into its serving percentiles. Empty input yields the
+// zero summary. v is not modified.
+func Summarize(v []float64) LatencySummary {
+	if len(v) == 0 {
+		return LatencySummary{}
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	return LatencySummary{
+		Mean: Mean(s),
+		P50:  sortedPercentile(s, 50),
+		P95:  sortedPercentile(s, 95),
+		P99:  sortedPercentile(s, 99),
+		Max:  s[len(s)-1],
+	}
+}
+
+// sortedPercentile is Percentile over already-sorted data, so one sort
+// serves all the quantiles of a summary.
+func sortedPercentile(s []float64, p float64) float64 {
 	if p <= 0 {
 		return s[0]
 	}

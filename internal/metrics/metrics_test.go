@@ -284,3 +284,32 @@ func TestSparsityMaskedMatchesMaterialised(t *testing.T) {
 		t.Errorf("all-implicit-zero row: got %v, want %v", got, want)
 	}
 }
+
+func TestSummarize(t *testing.T) {
+	if s := Summarize(nil); s != (LatencySummary{}) {
+		t.Errorf("empty input: %+v", s)
+	}
+	v := []float64{5, 1, 4, 2, 3}
+	s := Summarize(v)
+	if s.Mean != 3 || s.P50 != 3 || s.Max != 5 {
+		t.Errorf("summary %+v", s)
+	}
+	// Percentile fields must agree with the standalone Percentile and be
+	// monotone.
+	for _, p := range []struct {
+		name string
+		got  float64
+		pct  float64
+	}{{"p50", s.P50, 50}, {"p95", s.P95, 95}, {"p99", s.P99, 99}} {
+		if want := Percentile(v, p.pct); p.got != want {
+			t.Errorf("%s = %v, Percentile gives %v", p.name, p.got, want)
+		}
+	}
+	if !(s.P50 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max) {
+		t.Errorf("percentiles not monotone: %+v", s)
+	}
+	// Input must not be reordered.
+	if v[0] != 5 || v[4] != 3 {
+		t.Errorf("Summarize mutated its input: %v", v)
+	}
+}

@@ -49,11 +49,17 @@ func Quantize(m *tensor.Matrix, bits int) *Tensor {
 		if scale == 0 {
 			scale = 1 // constant channel: every value maps to code 0 + zero offset
 		}
-		zero := -lo / scale
 		q.Scale[c] = float32(scale)
-		q.Zero[c] = float32(zero)
+		q.Zero[c] = float32(-lo / scale)
+		// Quantize against the parameters as stored (FP16/FP32 on the
+		// wire), not their exact float64 precursors: dequantization uses
+		// the stored values, so rounding them before computing codes keeps
+		// the round-trip error inside the half-step bound instead of
+		// adding a hidden parameter-rounding term.
+		sc := float64(q.Scale[c])
+		z := float64(q.Zero[c])
 		for r := 0; r < m.Rows; r++ {
-			code := math.Round(float64(m.At(r, c))/scale + zero)
+			code := math.Round(float64(m.At(r, c))/sc + z)
 			if code < 0 {
 				code = 0
 			}
@@ -84,13 +90,22 @@ func channelRange(m *tensor.Matrix, c int) (lo, hi float64) {
 }
 
 // Dequantize reconstructs the floating-point matrix: x = λ·(code − z).
+// The exact reconstruction never exceeds the observed channel range, so a
+// value pushed past float32 by the rounding of the stored λ is clamped to
+// the finite float32 range rather than overflowing to ±Inf.
 func (q *Tensor) Dequantize() *tensor.Matrix {
 	m := tensor.New(q.Rows, q.Cols)
 	for c := 0; c < q.Cols; c++ {
 		scale := float64(q.Scale[c])
 		zero := float64(q.Zero[c])
 		for r := 0; r < q.Rows; r++ {
-			m.Set(r, c, float32(scale*(float64(q.Codes[r*q.Cols+c])-zero)))
+			x := scale * (float64(q.Codes[r*q.Cols+c]) - zero)
+			if x > math.MaxFloat32 {
+				x = math.MaxFloat32
+			} else if x < -math.MaxFloat32 {
+				x = -math.MaxFloat32
+			}
+			m.Set(r, c, float32(x))
 		}
 	}
 	return m

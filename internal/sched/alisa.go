@@ -256,6 +256,20 @@ func (a *Alisa) enforceDeletionShare(ctx *Context, tokenBytes int64, j int) int 
 	}
 }
 
+// Release implements Releaser: drop every KV byte the sequence holds from
+// both memories (deletion is free; recomputation never comes due because
+// the sequence is finished or will restart from its prompt).
+func (a *Alisa) Release(ctx *Context) (gpuBytes, cpuBytes int64) {
+	if a.store == nil {
+		return 0, 0
+	}
+	gpuBytes, cpuBytes = a.store.Bytes(ctx.TokenBytes())
+	ctx.Sys.FreeGPU(gpuBytes)
+	ctx.Sys.FreeCPU(cpuBytes)
+	a.store.Reset()
+	return gpuBytes, cpuBytes
+}
+
 func (a *Alisa) markPhase2(j int) {
 	if a.phase2Start < 0 {
 		a.phase2Start = j
@@ -306,8 +320,11 @@ func (a *Alisa) weightedFractions(prefix int) (gpuW, cpuW, delW float64) {
 		float64(counts[kvcache.Deleted]) / total
 }
 
-// interface check
-var _ Scheduler = (*Alisa)(nil)
+// interface checks
+var (
+	_ Scheduler = (*Alisa)(nil)
+	_ Releaser  = (*Alisa)(nil)
+)
 
 // sanity check that memsim errors propagate as *memsim.OOMError
 var _ error = (*memsim.OOMError)(nil)

@@ -48,17 +48,27 @@ func (f *FlexGen) Init(ctx *Context) error {
 	tokenBytes := ctx.TokenBytes()
 	gpuShare, cpuShare := f.store.Split(tokenBytes)
 	for i := 0; i < ctx.Input; i++ {
-		if err := ctx.Sys.AllocGPU(gpuShare); err != nil {
-			return fmt.Errorf("flexgen: prefill GPU share: %w", err)
+		if err := f.allocToken(ctx, gpuShare, cpuShare); err != nil {
+			return fmt.Errorf("flexgen: prefill token: %w", err)
 		}
-		if cpuShare > 0 {
-			if err := ctx.Sys.AllocCPU(cpuShare); err != nil {
-				return fmt.Errorf("flexgen: prefill CPU share: %w", err)
-			}
-			ctx.ChargeToCPU(cpuShare)
-		}
-		f.store.Append()
 	}
+	return nil
+}
+
+// allocToken reserves one token's static shares on both devices, leaving
+// nothing allocated on failure so the store always matches live memory.
+func (f *FlexGen) allocToken(ctx *Context, gpuShare, cpuShare int64) error {
+	if err := ctx.Sys.AllocGPU(gpuShare); err != nil {
+		return err
+	}
+	if cpuShare > 0 {
+		if err := ctx.Sys.AllocCPU(cpuShare); err != nil {
+			ctx.Sys.FreeGPU(gpuShare)
+			return err
+		}
+		ctx.ChargeToCPU(cpuShare)
+	}
+	f.store.Append()
 	return nil
 }
 
@@ -80,18 +90,28 @@ func (f *FlexGen) Step(ctx *Context, j int) (StepPlan, error) {
 		plan.FetchedTokens = attended - 1
 	}
 
-	if err := ctx.Sys.AllocGPU(gpuShare); err != nil {
-		return plan, fmt.Errorf("flexgen: new-token GPU share: %w", err)
+	if err := f.allocToken(ctx, gpuShare, cpuShare); err != nil {
+		return plan, fmt.Errorf("flexgen: new-token shares: %w", err)
 	}
 	if cpuShare > 0 {
-		if err := ctx.Sys.AllocCPU(cpuShare); err != nil {
-			return plan, fmt.Errorf("flexgen: new-token CPU share: %w", err)
-		}
-		ctx.ChargeToCPU(cpuShare)
 		plan.OffloadedTokens = 1
 	}
-	f.store.Append()
 	return plan, nil
+}
+
+// Release implements Releaser: free the static shares of every stored
+// token on both devices.
+func (f *FlexGen) Release(ctx *Context) (gpuBytes, cpuBytes int64) {
+	if f.store == nil {
+		return 0, 0
+	}
+	gpuShare, cpuShare := f.store.Split(ctx.TokenBytes())
+	n := int64(f.store.Tokens())
+	gpuBytes, cpuBytes = n*gpuShare, n*cpuShare
+	ctx.Sys.FreeGPU(gpuBytes)
+	ctx.Sys.FreeCPU(cpuBytes)
+	f.store.Reset()
+	return gpuBytes, cpuBytes
 }
 
 // VLLM is the paged-attention baseline [21]: KV lives in fixed-size GPU
@@ -143,11 +163,14 @@ func (v *VLLM) Init(ctx *Context) error {
 	v.store = kvcache.NewBlockStore(v.BlockSize)
 	blockBytes := v.blockBytes(ctx)
 	for i := 0; i < ctx.Input; i++ {
-		if v.store.Append() {
+		// Reserve the block before growing the store, so a failed
+		// allocation leaves bookkeeping and live memory in agreement.
+		if v.store.WouldGrow() {
 			if err := ctx.Sys.AllocGPU(blockBytes); err != nil {
 				return fmt.Errorf("vllm: prefill block: %w", err)
 			}
 		}
+		v.store.Append()
 	}
 	return nil
 }
@@ -166,13 +189,15 @@ func (v *VLLM) Step(ctx *Context, j int) (StepPlan, error) {
 		plan.FetchedTokens = swapped * v.BlockSize
 	}
 
-	if v.store.Append() {
+	if v.store.WouldGrow() {
 		for ctx.Sys.GPUHeadroom() < blockBytes {
-			if v.store.SwapOut(1) == 0 {
-				return plan, fmt.Errorf("vllm: GPU full with nothing to swap (block %d bytes)", blockBytes)
-			}
+			// Secure the CPU destination before the swap mutates the store.
 			if err := ctx.Sys.AllocCPU(blockBytes); err != nil {
 				return plan, fmt.Errorf("vllm: swap destination: %w", err)
+			}
+			if v.store.SwapOut(1) == 0 {
+				ctx.Sys.FreeCPU(blockBytes)
+				return plan, fmt.Errorf("vllm: GPU full with nothing to swap (block %d bytes)", blockBytes)
 			}
 			ctx.ChargeToCPU(blockBytes)
 			ctx.Sys.FreeGPU(blockBytes)
@@ -182,7 +207,23 @@ func (v *VLLM) Step(ctx *Context, j int) (StepPlan, error) {
 			return plan, fmt.Errorf("vllm: decode block: %w", err)
 		}
 	}
+	v.store.Append()
 	return plan, nil
+}
+
+// Release implements Releaser: free every allocated block on its current
+// device.
+func (v *VLLM) Release(ctx *Context) (gpuBytes, cpuBytes int64) {
+	if v.store == nil {
+		return 0, 0
+	}
+	blockBytes := v.blockBytes(ctx)
+	gpuBytes = int64(v.store.BlocksIn(kvcache.GPU)) * blockBytes
+	cpuBytes = int64(v.store.BlocksIn(kvcache.CPU)) * blockBytes
+	ctx.Sys.FreeGPU(gpuBytes)
+	ctx.Sys.FreeCPU(cpuBytes)
+	v.store.Reset()
+	return gpuBytes, cpuBytes
 }
 
 func (v *VLLM) blockBytes(ctx *Context) int64 {
@@ -247,6 +288,14 @@ func (d *DeepSpeed) Step(ctx *Context, j int) (StepPlan, error) {
 	return plan, nil
 }
 
+// Release implements Releaser: KV is GPU-pinned, so everything frees there.
+func (d *DeepSpeed) Release(ctx *Context) (gpuBytes, cpuBytes int64) {
+	gpuBytes = int64(d.tokens) * ctx.TokenBytes()
+	ctx.Sys.FreeGPU(gpuBytes)
+	d.tokens = 0
+	return gpuBytes, 0
+}
+
 // HFAccelerate is the HuggingFace Accelerate baseline [39]: the whole KV
 // cache lives in CPU memory ("offloading the whole KV tensors to the CPU
 // memory"), so every step streams the entire attended context in and the
@@ -294,13 +343,25 @@ func (h *HFAccelerate) Step(ctx *Context, j int) (StepPlan, error) {
 	return plan, nil
 }
 
+// Release implements Releaser: the whole cache lives in CPU memory.
+func (h *HFAccelerate) Release(ctx *Context) (gpuBytes, cpuBytes int64) {
+	cpuBytes = int64(h.tokens) * ctx.TokenBytes()
+	ctx.Sys.FreeCPU(cpuBytes)
+	h.tokens = 0
+	return 0, cpuBytes
+}
+
 // interface checks
 var (
 	_ Scheduler   = (*FlexGen)(nil)
+	_ Releaser    = (*FlexGen)(nil)
 	_ Scheduler   = (*VLLM)(nil)
 	_ WavePlanner = (*VLLM)(nil)
+	_ Releaser    = (*VLLM)(nil)
 	_ Scheduler   = (*DeepSpeed)(nil)
+	_ Releaser    = (*DeepSpeed)(nil)
 	_ Scheduler   = (*HFAccelerate)(nil)
+	_ Releaser    = (*HFAccelerate)(nil)
 )
 
 // ByName constructs a scheduler from its canonical name.

@@ -134,6 +134,16 @@ type WavePlanner interface {
 	Waves(ctx *Context) ([]int, error)
 }
 
+// Releaser frees every byte a scheduler's sequence holds on the simulated
+// system — the free-on-completion (and preemption) hook of the serving
+// loop. Release must be exact: after any Init or Step return, successful
+// or not, the scheduler's bookkeeping matches its live allocations, so
+// Release(ctx) leaves the system as if the sequence never ran. It reports
+// the freed GPU and CPU bytes.
+type Releaser interface {
+	Release(ctx *Context) (gpuBytes, cpuBytes int64)
+}
+
 // attendedTokens returns how many tokens a step attends to under the
 // context's caching ratio with n cached tokens: the sparse budget plus the
 // current token.

@@ -37,6 +37,14 @@ func (g *GPUOnly) Step(ctx *Context, j int) (StepPlan, error) {
 	return plan, nil
 }
 
+// Release implements Releaser.
+func (g *GPUOnly) Release(ctx *Context) (gpuBytes, cpuBytes int64) {
+	gpuBytes = int64(g.tokens) * ctx.TokenBytes()
+	ctx.Sys.FreeGPU(gpuBytes)
+	g.tokens = 0
+	return gpuBytes, 0
+}
+
 // NoCache disables KV caching entirely: every decode step reprocesses the
 // whole sequence from scratch — the quadratic-time arm of Fig. 2(c).
 // Memory stays flat (no KV is retained) while time per step grows.
@@ -60,6 +68,12 @@ func (n *NoCache) Init(ctx *Context) error {
 func (n *NoCache) Step(ctx *Context, j int) (StepPlan, error) {
 	n.tokens++
 	return StepPlan{Attended: n.tokens, FullRecompute: true}, nil
+}
+
+// Release implements Releaser; nothing is ever cached.
+func (n *NoCache) Release(ctx *Context) (gpuBytes, cpuBytes int64) {
+	n.tokens = 0
+	return 0, 0
 }
 
 // PCIeSplit keeps a fixed fraction of every token's KV in CPU memory and
@@ -90,17 +104,27 @@ func (p *PCIeSplit) Init(ctx *Context) error {
 	p.tokens = 0
 	gpuShare, cpuShare := p.split(ctx)
 	for i := 0; i < ctx.Input; i++ {
-		if err := ctx.Sys.AllocGPU(gpuShare); err != nil {
-			return fmt.Errorf("pcie-split: prefill GPU share: %w", err)
+		if err := p.allocToken(ctx, gpuShare, cpuShare); err != nil {
+			return fmt.Errorf("pcie-split: prefill token: %w", err)
 		}
-		if cpuShare > 0 {
-			if err := ctx.Sys.AllocCPU(cpuShare); err != nil {
-				return fmt.Errorf("pcie-split: prefill CPU share: %w", err)
-			}
-			ctx.ChargeToCPU(cpuShare)
-		}
-		p.tokens++
 	}
+	return nil
+}
+
+// allocToken reserves one token's shares on both devices, leaving nothing
+// allocated on failure.
+func (p *PCIeSplit) allocToken(ctx *Context, gpuShare, cpuShare int64) error {
+	if err := ctx.Sys.AllocGPU(gpuShare); err != nil {
+		return err
+	}
+	if cpuShare > 0 {
+		if err := ctx.Sys.AllocCPU(cpuShare); err != nil {
+			ctx.Sys.FreeGPU(gpuShare)
+			return err
+		}
+		ctx.ChargeToCPU(cpuShare)
+	}
+	p.tokens++
 	return nil
 }
 
@@ -113,18 +137,24 @@ func (p *PCIeSplit) Step(ctx *Context, j int) (StepPlan, error) {
 		ctx.ChargeToGPU(int64(attended-1) * cpuShare)
 		plan.FetchedTokens = attended - 1
 	}
-	if err := ctx.Sys.AllocGPU(gpuShare); err != nil {
-		return plan, fmt.Errorf("pcie-split: new-token GPU share: %w", err)
+	if err := p.allocToken(ctx, gpuShare, cpuShare); err != nil {
+		return plan, fmt.Errorf("pcie-split: new-token shares: %w", err)
 	}
 	if cpuShare > 0 {
-		if err := ctx.Sys.AllocCPU(cpuShare); err != nil {
-			return plan, fmt.Errorf("pcie-split: new-token CPU share: %w", err)
-		}
-		ctx.ChargeToCPU(cpuShare)
 		plan.OffloadedTokens = 1
 	}
-	p.tokens++
 	return plan, nil
+}
+
+// Release implements Releaser: free both static shares of every token.
+func (p *PCIeSplit) Release(ctx *Context) (gpuBytes, cpuBytes int64) {
+	gpuShare, cpuShare := p.split(ctx)
+	n := int64(p.tokens)
+	gpuBytes, cpuBytes = n*gpuShare, n*cpuShare
+	ctx.Sys.FreeGPU(gpuBytes)
+	ctx.Sys.FreeCPU(cpuBytes)
+	p.tokens = 0
+	return gpuBytes, cpuBytes
 }
 
 func (p *PCIeSplit) split(ctx *Context) (gpuShare, cpuShare int64) {
@@ -136,6 +166,9 @@ func (p *PCIeSplit) split(ctx *Context) (gpuShare, cpuShare int64) {
 // interface checks
 var (
 	_ Scheduler = (*GPUOnly)(nil)
+	_ Releaser  = (*GPUOnly)(nil)
 	_ Scheduler = (*NoCache)(nil)
+	_ Releaser  = (*NoCache)(nil)
 	_ Scheduler = (*PCIeSplit)(nil)
+	_ Releaser  = (*PCIeSplit)(nil)
 )

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/memsim"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// replayConfig is a pressured, heterogeneous workload that exercises
+// admission, offloading, and completions — the paths whose ordering a
+// nondeterministic loop would scramble.
+func replayConfig(scheduler string) Config {
+	return Config{
+		Model:      model.MustByName("opt-6.7b"),
+		Profile:    memsim.V100_16G(),
+		Scheduler:  scheduler,
+		Trace:      workload.PoissonTrace(20, 3.0, 42),
+		KVSparsity: 0.8,
+		KVBits:     8,
+		MaxBatch:   8,
+	}
+}
+
+// resultFingerprint flattens everything the replay contract pins: the
+// full event log plus the aggregate metrics.
+func resultFingerprint(t *testing.T, res *Result) string {
+	t.Helper()
+	fp := res.RenderEventLog()
+	fp += res.Scheduler
+	for _, r := range res.Requests {
+		fp += "|" + r.String()
+	}
+	return fp
+}
+
+// TestServeReplayDeterminism runs the same (seed, trace, config) twice per
+// scheduler and across GOMAXPROCS settings: the event log and metrics must
+// be byte-identical — the serving analogue of the oracle's
+// EvaluateSequential pinning.
+func TestServeReplayDeterminism(t *testing.T) {
+	for _, name := range []string{"alisa", "vllm", "hf-accelerate"} {
+		t.Run(name, func(t *testing.T) {
+			cfg := replayConfig(name)
+			first, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("run 1: %v", err)
+			}
+			want := resultFingerprint(t, first)
+
+			// Re-run in-process, then under different GOMAXPROCS values:
+			// the loop is single-goroutine by design and must not observe
+			// the scheduler's parallelism at all.
+			prev := runtime.GOMAXPROCS(0)
+			defer runtime.GOMAXPROCS(prev)
+			for _, procs := range []int{0, 1, 2, runtime.NumCPU()} {
+				if procs > 0 {
+					runtime.GOMAXPROCS(procs)
+				}
+				res, err := Run(cfg)
+				if err != nil {
+					t.Fatalf("replay at GOMAXPROCS=%d: %v", procs, err)
+				}
+				if got := resultFingerprint(t, res); got != want {
+					t.Fatalf("replay diverged at GOMAXPROCS=%d:\nfirst difference in fingerprints of %d vs %d bytes",
+						procs, len(want), len(got))
+				}
+			}
+
+			// Metric-level pinning: identical floats, not just close ones.
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("run 3: %v", err)
+			}
+			if res.Throughput != first.Throughput || res.Goodput != first.Goodput ||
+				res.TTFT != first.TTFT || res.TPOT != first.TPOT || res.E2E != first.E2E ||
+				res.Preemptions != first.Preemptions || res.MeanBatch != first.MeanBatch {
+				t.Fatalf("aggregate metrics drifted between identical runs")
+			}
+		})
+	}
+}
+
+// TestServeEventLogShape sanity-checks the pinned artifact itself: one
+// admit and one finish per request (plus preemption re-admissions), all
+// timestamped in nondecreasing order.
+func TestServeEventLogShape(t *testing.T) {
+	res, err := Run(replayConfig("alisa"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	admits, finishes, preempts := 0, 0, 0
+	for _, e := range res.EventLog {
+		switch {
+		case strings.Contains(e, " admit "):
+			admits++
+		case strings.Contains(e, " preempt "):
+			preempts++
+		case strings.Contains(e, " finish "):
+			finishes++
+		default:
+			t.Errorf("unclassified event %q", e)
+		}
+	}
+	n := len(res.Requests)
+	if finishes != n {
+		t.Errorf("finish events %d != requests %d", finishes, n)
+	}
+	if admits != n+preempts {
+		t.Errorf("admit events %d != requests %d + preemptions %d", admits, n, preempts)
+	}
+	if preempts != res.Preemptions {
+		t.Errorf("preempt events %d != reported %d", preempts, res.Preemptions)
+	}
+}

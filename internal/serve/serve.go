@@ -1,0 +1,542 @@
+// Package serve is a discrete-event, multi-request serving simulator
+// layered on the lockstep engine's cost and memory models — the
+// continuous-batching regime (vLLM-style) projected onto the paper's
+// simulated GPU–CPU system.
+//
+// Requests arrive on a workload.Trace timeline with heterogeneous
+// input/output lengths. A single event loop owns the simulated clock:
+//
+//   - Admission (FCFS): while capacity and the batch cap allow, arrived
+//     requests are prefilled and join the dynamic decode batch. Each
+//     request runs its own instance of a sched.Scheduler as its KV
+//     placement policy, sharing one memsim.System, so every policy's
+//     memory pressure is global while its placement decisions stay
+//     per-sequence.
+//   - Decode iterations: every active request plans one step through its
+//     scheduler (transfers charged to the shared clock/PCIe link), then
+//     the whole ragged batch is charged as one fused iteration through
+//     costmodel.RaggedDecodeTime.
+//   - Preemption: when a request cannot allocate (GPU pressure from new
+//     admissions), the youngest-admitted sequence is preempted — its KV
+//     is released in full and the request restarts from its prompt on
+//     readmission, i.e. recompute-style preemption, the serving-level
+//     analogue of ALISA's Phase III deletion.
+//   - Completion: a finished request's KV is freed through the
+//     scheduler's Release hook (free-on-completion).
+//
+// The loop is single-goroutine and seeded, so a (trace, config) pair
+// replays to a byte-identical event log and metrics, independent of
+// GOMAXPROCS.
+package serve
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/costmodel"
+	"repro/internal/memsim"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Config specifies one serving simulation.
+type Config struct {
+	Model   model.Config
+	Profile memsim.Profile
+	// Scheduler is the per-request KV placement policy, by sched.ByName
+	// name. Every admission instantiates a fresh scheduler, so policies
+	// keep per-sequence state. deepspeed-zero is not servable: weight
+	// streaming is an engine-wide property, not a per-request one.
+	Scheduler string
+
+	Trace workload.Trace
+
+	// KVSparsity and KVBits configure SWA and KV compression exactly as in
+	// the lockstep engine (KVBits 0 → 16, dense FP16).
+	KVSparsity float64
+	KVBits     int
+
+	// MaxBatch caps concurrent decode sequences (0 → 16). Activations are
+	// reserved for this cap up front.
+	MaxBatch int
+
+	// SLOTTFT and SLOTPOT are the goodput service-level objectives:
+	// a completed request counts toward goodput only when its
+	// time-to-first-token and time-per-output-token meet both bounds
+	// (0 → 10 s and 0.5 s).
+	SLOTTFT float64
+	SLOTPOT float64
+}
+
+// withDefaults returns the config with zero fields defaulted.
+func (c Config) withDefaults() Config {
+	if c.KVBits == 0 {
+		c.KVBits = 16
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 16
+	}
+	if c.SLOTTFT == 0 {
+		c.SLOTTFT = 10
+	}
+	if c.SLOTPOT == 0 {
+		c.SLOTPOT = 0.5
+	}
+	return c
+}
+
+// Validate reports configuration errors before a run.
+func (c Config) Validate() error {
+	switch {
+	case c.Model.Layers <= 0:
+		return fmt.Errorf("serve: model config required")
+	case c.Scheduler == "deepspeed-zero" || c.Scheduler == "deepspeed":
+		return fmt.Errorf("serve: deepspeed-zero streams weights engine-wide and cannot act as a per-request policy")
+	case c.KVSparsity < 0 || c.KVSparsity >= 1:
+		return fmt.Errorf("serve: KV sparsity must be in [0,1), got %v", c.KVSparsity)
+	case c.KVBits != 4 && c.KVBits != 8 && c.KVBits != 16:
+		return fmt.Errorf("serve: KV bits must be 4, 8 or 16, got %d", c.KVBits)
+	case c.MaxBatch < 0:
+		return fmt.Errorf("serve: negative batch cap %d", c.MaxBatch)
+	}
+	if _, err := sched.ByName(c.Scheduler); err != nil {
+		return err
+	}
+	return c.Trace.Validate(c.Model.MaxSeq)
+}
+
+// RequestRecord is the per-request outcome of a serving run.
+type RequestRecord struct {
+	ID      int
+	Arrival float64
+	// Admitted is the (final) admission time; preempted requests are
+	// readmitted and the latest admission is kept.
+	Admitted float64
+	// FirstToken is when the prompt finished prefilling after final
+	// admission — the end of TTFT.
+	FirstToken float64
+	Finished   float64
+	Input      int
+	Output     int
+	// Preemptions counts how many times the request lost its KV and
+	// restarted from the prompt.
+	Preemptions int
+}
+
+// String renders the record with full float precision, so replay
+// fingerprints catch any drift.
+func (r RequestRecord) String() string {
+	return fmt.Sprintf("r%d arr=%.9f adm=%.9f ft=%.9f fin=%.9f s=%d n=%d pre=%d",
+		r.ID, r.Arrival, r.Admitted, r.FirstToken, r.Finished, r.Input, r.Output, r.Preemptions)
+}
+
+// TTFT returns the request's time to first token: arrival → first token,
+// queueing and any preempted work included.
+func (r RequestRecord) TTFT() float64 { return r.FirstToken - r.Arrival }
+
+// TPOT returns the request's mean time per output token after the first.
+func (r RequestRecord) TPOT() float64 {
+	if r.Output <= 0 {
+		return 0
+	}
+	return (r.Finished - r.FirstToken) / float64(r.Output)
+}
+
+// Result is the outcome of a serving simulation.
+type Result struct {
+	Scheduler string
+	Requests  []RequestRecord
+	Breakdown *trace.Breakdown
+
+	// Makespan is the simulated time from trace start to the last
+	// completion.
+	Makespan float64
+	// Throughput is generated tokens per second over the makespan.
+	Throughput float64
+	// Goodput is the generated-token rate counting only requests that met
+	// both SLOs.
+	Goodput float64
+	// SLOAttainment is the fraction of requests that met both SLOs.
+	SLOAttainment float64
+
+	TTFT metrics.LatencySummary
+	TPOT metrics.LatencySummary
+	E2E  metrics.LatencySummary
+
+	Preemptions int
+	// MeanBatch is the decode-batch occupancy averaged over iterations.
+	MeanBatch float64
+	// PeakGPU and PeakCPU are the memory high-water marks.
+	PeakGPU, PeakCPU int64
+
+	// EventLog is the deterministic, human-readable record of every
+	// admission, preemption, and completion; the replay tests pin it
+	// byte for byte.
+	EventLog []string
+}
+
+// RenderEventLog joins the event log into one newline-terminated string.
+func (r *Result) RenderEventLog() string {
+	return strings.Join(r.EventLog, "\n") + "\n"
+}
+
+// seqState is one admitted request's runtime state.
+type seqState struct {
+	req workload.Request
+	sch sched.Scheduler
+	rel sched.Releaser
+	ctx *sched.Context
+	j   int // completed decode steps
+	rec *RequestRecord
+}
+
+// server is the event-loop state of one run.
+type server struct {
+	cfg  Config
+	sys  *memsim.System
+	cost costmodel.Cost
+
+	pending []workload.Request // arrival-ordered wait queue
+	active  []*seqState
+	records map[int]*RequestRecord
+
+	preemptions int
+	iterations  int
+	batchSum    int
+
+	// staticGPU/staticCPU are the post-reservation baselines; when the
+	// last request retires, usage must return to them exactly or the
+	// per-sequence accounting leaked.
+	staticGPU, staticCPU int64
+
+	// admissionBlockedHeadroom remembers the GPU headroom at the last
+	// failed admission probe; re-probing waits until headroom grows, so a
+	// stuck head-of-queue request does not charge probe transfers every
+	// iteration. lastAdmitErr keeps that probe's placement error for the
+	// unservable diagnosis.
+	admissionBlockedHeadroom int64
+	lastAdmitErr             error
+
+	log []string
+	res *Result
+}
+
+// Run simulates the configured serving workload to completion.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	s := &server{
+		cfg:                      cfg,
+		sys:                      memsim.NewSystem(cfg.Profile),
+		cost:                     costmodel.New(cfg.Profile),
+		pending:                  append(workload.Trace(nil), cfg.Trace...),
+		records:                  make(map[int]*RequestRecord, len(cfg.Trace)),
+		admissionBlockedHeadroom: -1,
+		res: &Result{
+			Scheduler: cfg.Scheduler,
+			Breakdown: trace.NewBreakdown(),
+		},
+	}
+	for _, r := range cfg.Trace {
+		s.records[r.ID] = &RequestRecord{ID: r.ID, Arrival: r.Arrival, Input: r.Input, Output: r.Output}
+	}
+
+	if err := s.reserveStatic(); err != nil {
+		return nil, err
+	}
+	if err := s.loop(); err != nil {
+		return nil, err
+	}
+	s.finalize()
+	return s.res, nil
+}
+
+// reserveStatic allocates weights and a MaxBatch worth of activations.
+func (s *server) reserveStatic() error {
+	if err := s.sys.AllocGPU(s.cfg.Profile.ReserveBytes); err != nil {
+		return fmt.Errorf("serve: runtime reserve: %w", err)
+	}
+	if err := s.sys.AllocGPU(s.cfg.Model.WeightBytes(2)); err != nil {
+		return fmt.Errorf("serve: weights: %w", err)
+	}
+	if err := s.sys.AllocGPU(s.cfg.Model.ActivationBytes(s.cfg.MaxBatch, 2)); err != nil {
+		return fmt.Errorf("serve: activations for batch cap %d: %w", s.cfg.MaxBatch, err)
+	}
+	s.staticGPU, s.staticCPU = s.sys.Usage()
+	return nil
+}
+
+// loop is the discrete-event engine: admit, decode, complete, repeat.
+func (s *server) loop() error {
+	for len(s.pending) > 0 || len(s.active) > 0 {
+		// Idle with work only in the future: jump to the next arrival.
+		if len(s.active) == 0 && s.pending[0].Arrival > s.sys.Clock() {
+			s.sys.Advance(s.pending[0].Arrival - s.sys.Clock())
+			s.admissionBlockedHeadroom = -1
+		}
+		if err := s.admit(); err != nil {
+			return err
+		}
+		if len(s.active) == 0 {
+			// Admission failed on an empty system: the head request can
+			// never run.
+			return fmt.Errorf("serve: request %d unservable: prompt KV cannot be placed on an empty system: %w",
+				s.pending[0].ID, s.lastAdmitErr)
+		}
+		if err := s.iterate(); err != nil {
+			return err
+		}
+	}
+	if gpu, cpu := s.sys.Usage(); gpu != s.staticGPU || cpu != s.staticCPU {
+		return fmt.Errorf("serve: KV accounting leak: usage gpu=%d cpu=%d, static gpu=%d cpu=%d",
+			gpu, cpu, s.staticGPU, s.staticCPU)
+	}
+	return nil
+}
+
+// admit moves arrived requests from the wait queue into the decode batch,
+// FCFS, until the batch cap or capacity stops it.
+func (s *server) admit() error {
+	for len(s.active) < s.cfg.MaxBatch && len(s.pending) > 0 {
+		req := s.pending[0]
+		if req.Arrival > s.sys.Clock() {
+			return nil
+		}
+		if s.admissionBlockedHeadroom >= 0 && s.sys.GPUHeadroom() <= s.admissionBlockedHeadroom {
+			// Last probe failed and nothing was freed since; skip
+			// re-probing until memory moves.
+			return nil
+		}
+		ok, err := s.tryAdmit(req)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			s.admissionBlockedHeadroom = s.sys.GPUHeadroom()
+			return nil
+		}
+		s.admissionBlockedHeadroom = -1
+		s.pending = s.pending[1:]
+	}
+	return nil
+}
+
+// tryAdmit prefills and places one request. A placement failure rolls the
+// memory deltas back exactly (the loop is single-goroutine, so the
+// snapshot diff is attributable) and reports ok=false; the clock cost of
+// the aborted attempt stays charged, as a real engine's aborted prefill
+// would.
+func (s *server) tryAdmit(req workload.Request) (bool, error) {
+	sch, err := sched.ByName(s.cfg.Scheduler)
+	if err != nil {
+		return false, err
+	}
+	rel, ok := sch.(sched.Releaser)
+	if !ok {
+		return false, fmt.Errorf("serve: scheduler %q has no Release hook", s.cfg.Scheduler)
+	}
+	ctx := &sched.Context{
+		Sys:          s.sys,
+		Cost:         s.cost,
+		Model:        s.cfg.Model,
+		Batch:        1,
+		Input:        req.Input,
+		Output:       req.Output,
+		CachingRatio: 1 - s.cfg.KVSparsity,
+		KVBits:       s.cfg.KVBits,
+		Breakdown:    s.res.Breakdown,
+	}
+
+	gpuBefore, cpuBefore := s.sys.Usage()
+	prefill := s.cost.PrefillTime(s.cfg.Model, 1, req.Input)
+	s.sys.Advance(prefill)
+	s.res.Breakdown.Add(trace.CatPrefill, prefill)
+	if err := sch.Init(ctx); err != nil {
+		// Roll back whatever Init managed to place, keeping the cause for
+		// the unservable diagnosis.
+		gpuAfter, cpuAfter := s.sys.Usage()
+		s.sys.FreeGPU(gpuAfter - gpuBefore)
+		s.sys.FreeCPU(cpuAfter - cpuBefore)
+		s.lastAdmitErr = err
+		return false, nil
+	}
+
+	rec := s.records[req.ID]
+	rec.Admitted = s.sys.Clock() - prefill
+	rec.FirstToken = s.sys.Clock()
+	st := &seqState{req: req, sch: sch, rel: rel, ctx: ctx, rec: rec}
+	s.active = append(s.active, st)
+	s.logf("t=%.9f admit r=%d in=%d out=%d wait=%.9f batch=%d",
+		s.sys.Clock(), req.ID, req.Input, req.Output, rec.Admitted-req.Arrival, len(s.active))
+	return true, nil
+}
+
+// iterate runs one continuous-batching decode iteration over the active
+// batch: per-sequence placement plans, one fused ragged compute charge,
+// then completions.
+func (s *server) iterate() error {
+	s.iterations++
+	s.batchSum += len(s.active)
+
+	type stepped struct {
+		st   *seqState
+		plan sched.StepPlan
+	}
+	var plans []stepped
+	// The active list is admission-ordered (appends only), so the
+	// youngest sequence is always the last element — and therefore never
+	// one that was already stepped this iteration.
+	for i := 0; i < len(s.active); {
+		st := s.active[i]
+		plan, err := st.sch.Step(st.ctx, st.j)
+		if err == nil {
+			plans = append(plans, stepped{st, plan})
+			i++
+			continue
+		}
+		// Memory pressure: preempt the youngest-admitted sequence
+		// (vLLM-style recompute preemption; the serving analogue of
+		// ALISA's Phase III deletion under admission pressure), then
+		// retry. The retry re-runs the whole Step, so any transfers the
+		// failed attempt already charged stay on the clock and the PCIe
+		// counters — deliberate: a real engine's aborted iteration also
+		// consumed link bandwidth before re-issuing its fetches. A
+		// sequence that fails alone can never finish.
+		if len(s.active) == 1 {
+			return fmt.Errorf("serve: request %d cannot be served even alone: %w", st.req.ID, err)
+		}
+		victim := s.active[len(s.active)-1]
+		s.preempt(victim)
+		// If st itself was the victim it is gone and i == len(active);
+		// otherwise retry st with the freed memory. Either way i stands.
+	}
+
+	// Fused iteration compute: ragged attention + shared projections for
+	// normally cached sequences; full forward passes for no-cache plans;
+	// pooled recomputation and quantization charges.
+	var attended []int
+	recomputed, quantPos := 0, 0
+	sparse := false
+	for _, p := range plans {
+		if p.plan.FullRecompute {
+			t := s.cost.PrefillTime(s.cfg.Model, 1, p.plan.Attended)
+			s.sys.Advance(t)
+			s.res.Breakdown.Add(trace.CatFullForward, t)
+			continue
+		}
+		attended = append(attended, p.plan.Attended)
+		recomputed += p.plan.RecomputedTokens
+		quantPos += 1 + p.plan.FetchedTokens
+		sparse = sparse || p.plan.Sparse
+	}
+	if len(attended) > 0 {
+		kvWidth := 2
+		if s.cfg.KVBits < 16 {
+			kvWidth = 1
+		}
+		mha, ffn := s.cost.RaggedDecodeTime(s.cfg.Model, attended, kvWidth, sparse)
+		s.sys.Advance(mha + ffn)
+		s.res.Breakdown.Add(trace.CatMHA, mha)
+		s.res.Breakdown.Add(trace.CatFFN, ffn)
+	}
+	if recomputed > 0 {
+		t := s.cost.RecomputeTime(s.cfg.Model, 1, recomputed)
+		s.sys.Advance(t)
+		s.res.Breakdown.Add(trace.CatRecompute, t)
+	}
+	if s.cfg.KVBits < 16 && quantPos > 0 {
+		t := s.cost.Quantize(int64(quantPos) * s.cfg.Model.KVBytesPerToken(2)).Seconds
+		s.sys.Advance(t)
+		s.res.Breakdown.Add(trace.CatQuant, t)
+	}
+
+	// Advance step counters and retire finished sequences.
+	for _, p := range plans {
+		p.st.j++
+		if p.st.j >= p.st.req.Output {
+			s.complete(p.st)
+		}
+	}
+	return nil
+}
+
+// preempt releases every byte the victim (the last active sequence) holds
+// and sends its request back to the head of the wait queue to restart from
+// the prompt.
+func (s *server) preempt(victim *seqState) {
+	gpu, cpu := victim.rel.Release(victim.ctx)
+	victim.rec.Preemptions++
+	s.preemptions++
+	s.logf("t=%.9f preempt r=%d gen=%d freedGPU=%d freedCPU=%d",
+		s.sys.Clock(), victim.req.ID, victim.j, gpu, cpu)
+
+	s.active = s.active[:len(s.active)-1]
+	// Requeue ahead of unadmitted arrivals: the request keeps its FCFS
+	// position (its original arrival time orders it first).
+	s.pending = append(workload.Trace{victim.req}, s.pending...)
+	s.admissionBlockedHeadroom = -1
+}
+
+// complete retires a finished sequence, freeing its KV.
+func (s *server) complete(st *seqState) {
+	gpu, cpu := st.rel.Release(st.ctx)
+	st.rec.Finished = s.sys.Clock()
+	for k, a := range s.active {
+		if a == st {
+			s.active = append(s.active[:k], s.active[k+1:]...)
+			break
+		}
+	}
+	s.admissionBlockedHeadroom = -1
+	s.logf("t=%.9f finish r=%d ttft=%.9f tpot=%.9f freedGPU=%d freedCPU=%d",
+		s.sys.Clock(), st.req.ID, st.rec.TTFT(), st.rec.TPOT(), gpu, cpu)
+}
+
+// finalize computes the aggregate metrics from the per-request records.
+func (s *server) finalize() {
+	res := s.res
+	res.EventLog = s.log
+	res.Preemptions = s.preemptions
+	if s.iterations > 0 {
+		res.MeanBatch = float64(s.batchSum) / float64(s.iterations)
+	}
+	res.PeakGPU, res.PeakCPU = s.sys.Peak()
+
+	var ttft, tpot, e2e []float64
+	totalTokens, goodTokens, good := 0, 0, 0
+	for _, r := range s.cfg.Trace {
+		rec := s.records[r.ID]
+		res.Requests = append(res.Requests, *rec)
+		ttft = append(ttft, rec.TTFT())
+		tpot = append(tpot, rec.TPOT())
+		e2e = append(e2e, rec.Finished-rec.Arrival)
+		totalTokens += rec.Output
+		if rec.Finished > res.Makespan {
+			res.Makespan = rec.Finished
+		}
+		if rec.TTFT() <= s.cfg.SLOTTFT && rec.TPOT() <= s.cfg.SLOTPOT {
+			good++
+			goodTokens += rec.Output
+		}
+	}
+	res.TTFT = metrics.Summarize(ttft)
+	res.TPOT = metrics.Summarize(tpot)
+	res.E2E = metrics.Summarize(e2e)
+	if res.Makespan > 0 {
+		res.Throughput = float64(totalTokens) / res.Makespan
+		res.Goodput = float64(goodTokens) / res.Makespan
+	}
+	if len(s.cfg.Trace) > 0 {
+		res.SLOAttainment = float64(good) / float64(len(s.cfg.Trace))
+	}
+}
+
+func (s *server) logf(format string, args ...any) {
+	s.log = append(s.log, fmt.Sprintf(format, args...))
+}

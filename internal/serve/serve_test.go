@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/memsim"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// servable lists every scheduler the serving loop supports.
+var servable = []string{"alisa", "flexgen", "vllm", "hf-accelerate", "gpu-only", "no-cache"}
+
+// lightConfig is a low-pressure serving config every scheduler can finish.
+func lightConfig(scheduler string) Config {
+	return Config{
+		Model:     model.MustByName("opt-6.7b"),
+		Profile:   memsim.V100_16G(),
+		Scheduler: scheduler,
+		Trace:     workload.UniformTrace(6, 0.5, 96, 48),
+		KVBits:    16,
+		MaxBatch:  4,
+	}
+}
+
+func TestServeCompletesAllSchedulers(t *testing.T) {
+	for _, name := range servable {
+		t.Run(name, func(t *testing.T) {
+			res, err := Run(lightConfig(name))
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if len(res.Requests) != 6 {
+				t.Fatalf("completed %d of 6 requests", len(res.Requests))
+			}
+			for _, r := range res.Requests {
+				if r.FirstToken <= r.Arrival {
+					t.Errorf("r%d: first token %.6f not after arrival %.6f", r.ID, r.FirstToken, r.Arrival)
+				}
+				if r.Finished <= r.FirstToken {
+					t.Errorf("r%d: finished %.6f not after first token %.6f", r.ID, r.Finished, r.FirstToken)
+				}
+			}
+			if res.Throughput <= 0 {
+				t.Errorf("throughput %v not positive", res.Throughput)
+			}
+			if res.TTFT.P99 < res.TTFT.P50 || res.TPOT.P99 < res.TPOT.P50 {
+				t.Errorf("percentiles not monotone: TTFT %+v TPOT %+v", res.TTFT, res.TPOT)
+			}
+			if res.MeanBatch <= 0 || res.MeanBatch > 4 {
+				t.Errorf("mean batch %v outside (0,4]", res.MeanBatch)
+			}
+		})
+	}
+}
+
+func TestServeHeterogeneousPoisson(t *testing.T) {
+	for _, name := range []string{"alisa", "vllm", "hf-accelerate"} {
+		t.Run(name, func(t *testing.T) {
+			cfg := Config{
+				Model:      model.MustByName("opt-6.7b"),
+				Profile:    memsim.V100_16G(),
+				Scheduler:  name,
+				Trace:      workload.PoissonTrace(24, 2.0, 11),
+				KVBits:     16,
+				MaxBatch:   8,
+				KVSparsity: 0,
+			}
+			if name == "alisa" {
+				cfg.KVSparsity = 0.8
+				cfg.KVBits = 8
+			}
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if len(res.Requests) != 24 {
+				t.Fatalf("completed %d of 24", len(res.Requests))
+			}
+			if res.Makespan <= 0 {
+				t.Fatalf("makespan %v", res.Makespan)
+			}
+		})
+	}
+}
+
+// TestServeAlisaBeatsHFAccelerateGoodput pins the acceptance criterion: at
+// a memory-pressured operating point (OPT-6.7B on a V100-16G under Poisson
+// load, where the GPU cannot hold the full batch's dense KV), ALISA's
+// sparse, mostly-GPU-resident caching delivers higher goodput than the
+// whole-KV-offload baseline, which streams every attended token across
+// PCIe at every step.
+func TestServeAlisaBeatsHFAccelerateGoodput(t *testing.T) {
+	trace := workload.PoissonTrace(32, 3.0, 5)
+	base := Config{
+		Model:    model.MustByName("opt-6.7b"),
+		Profile:  memsim.V100_16G(),
+		Trace:    trace,
+		MaxBatch: 12,
+	}
+
+	alisa := base
+	alisa.Scheduler = "alisa"
+	alisa.KVSparsity = 0.8
+	alisa.KVBits = 8
+	ra, err := Run(alisa)
+	if err != nil {
+		t.Fatalf("alisa: %v", err)
+	}
+
+	hf := base
+	hf.Scheduler = "hf-accelerate"
+	hf.KVBits = 16
+	rh, err := Run(hf)
+	if err != nil {
+		t.Fatalf("hf-accelerate: %v", err)
+	}
+
+	if ra.Goodput <= rh.Goodput {
+		t.Fatalf("alisa goodput %.2f tok/s not above hf-accelerate %.2f tok/s\nalisa: TTFT %+v TPOT %+v\nhf: TTFT %+v TPOT %+v",
+			ra.Goodput, rh.Goodput, ra.TTFT, ra.TPOT, rh.TTFT, rh.TPOT)
+	}
+	if ra.Throughput <= rh.Throughput {
+		t.Errorf("alisa throughput %.2f not above hf-accelerate %.2f", ra.Throughput, rh.Throughput)
+	}
+}
+
+// TestServePreemptionRecovers forces GPU pressure with a policy that
+// cannot offload: preempted requests must restart and still complete, and
+// the preemption must appear in both the records and the event log.
+func TestServePreemptionRecovers(t *testing.T) {
+	cfg := Config{
+		Model:     model.MustByName("opt-6.7b"),
+		Profile:   memsim.V100_16G(),
+		Scheduler: "gpu-only",
+		// Four long sequences whose dense KV cannot coexist in the
+		// ~1.8 GB of GPU headroom left next to the 6.7B weights.
+		Trace:    workload.UniformTrace(4, 0.05, 1024, 512),
+		KVBits:   16,
+		MaxBatch: 4,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Preemptions == 0 {
+		t.Fatalf("expected preemptions under forced GPU pressure, got none (peak GPU %d)", res.PeakGPU)
+	}
+	total := 0
+	for _, r := range res.Requests {
+		total += r.Preemptions
+		if r.Finished <= 0 {
+			t.Errorf("r%d never finished", r.ID)
+		}
+	}
+	if total != res.Preemptions {
+		t.Errorf("per-request preemptions %d != total %d", total, res.Preemptions)
+	}
+	found := false
+	for _, e := range res.EventLog {
+		if strings.Contains(e, "preempt") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("no preempt event in log of %d entries", len(res.EventLog))
+	}
+}
+
+// TestServeValidate exercises the config error paths.
+func TestServeValidate(t *testing.T) {
+	good := lightConfig("alisa").withDefaults()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []func(Config) Config{
+		func(c Config) Config { c.Scheduler = "deepspeed-zero"; return c },
+		func(c Config) Config { c.Scheduler = "nope"; return c },
+		func(c Config) Config { c.KVSparsity = 1.0; return c },
+		func(c Config) Config { c.KVBits = 7; return c },
+		func(c Config) Config { c.Trace = nil; return c },
+		func(c Config) Config {
+			c.Trace = workload.Trace{{ID: 0, Input: 4096, Output: 4096}}
+			return c
+		},
+	}
+	for i, mutate := range bad {
+		if err := mutate(good).Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}

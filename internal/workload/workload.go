@@ -1,14 +1,17 @@
 // Package workload defines the evaluation workloads: the system-level
 // batch specs of §VI (Alpaca-sampled prompts, input 128 / output 512,
 // batch 4–64), the Fig. 1 motivation workloads, synthetic token streams
-// with natural-language-like statistics for the runnable decoder, and the
+// with natural-language-like statistics for the runnable decoder, the
 // seven datasets of Fig. 8 with their published dense-attention baselines
-// (the anchors the accuracy proxies are expressed against).
+// (the anchors the accuracy proxies are expressed against), and the
+// arrival traces the serving simulator replays: timestamped requests with
+// heterogeneous input/output lengths on a Poisson timeline.
 package workload
 
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 )
 
 // Spec is one system-level workload: a batch of identical-shape requests.
@@ -202,4 +205,138 @@ func DatasetByName(name string) (Dataset, error) {
 		}
 	}
 	return Dataset{}, fmt.Errorf("workload: unknown dataset %q", name)
+}
+
+// Request is one serving request on an arrival timeline: it becomes
+// visible to the admission loop at Arrival seconds, carries an
+// Input-token prompt, and completes after Output generated tokens.
+type Request struct {
+	ID      int
+	Arrival float64 // seconds since trace start
+	Input   int     // prompt tokens (s)
+	Output  int     // generated tokens (n)
+}
+
+// String formats the request like a (t, s, n) triple.
+func (r Request) String() string {
+	return fmt.Sprintf("r%d(t=%.3f,s=%d,n=%d)", r.ID, r.Arrival, r.Input, r.Output)
+}
+
+// Trace is a serving workload: requests ordered by arrival time.
+type Trace []Request
+
+// Validate checks that the trace is non-empty, arrival-ordered, has
+// unique request IDs, and that every request has positive lengths fitting
+// maxSeq (ignored when ≤ 0).
+func (t Trace) Validate(maxSeq int) error {
+	if len(t) == 0 {
+		return fmt.Errorf("workload: empty trace")
+	}
+	seen := make(map[int]bool, len(t))
+	prev := 0.0
+	for i, r := range t {
+		if seen[r.ID] {
+			return fmt.Errorf("workload: duplicate request ID %d at %d", r.ID, i)
+		}
+		seen[r.ID] = true
+		if r.Arrival < prev {
+			return fmt.Errorf("workload: trace not arrival-ordered at %d (%.3f < %.3f)", i, r.Arrival, prev)
+		}
+		prev = r.Arrival
+		if r.Input <= 0 || r.Output <= 0 {
+			return fmt.Errorf("workload: request %d has non-positive lengths s=%d n=%d", i, r.Input, r.Output)
+		}
+		if maxSeq > 0 && r.Input+r.Output > maxSeq {
+			return fmt.Errorf("workload: request %d sequence %d exceeds max %d", i, r.Input+r.Output, maxSeq)
+		}
+	}
+	return nil
+}
+
+// TotalOutput returns the generated-token count across the trace — the
+// numerator of serving throughput.
+func (t Trace) TotalOutput() int {
+	n := 0
+	for _, r := range t {
+		n += r.Output
+	}
+	return n
+}
+
+// shapeClass is one mode of the heterogeneous request-shape mixture.
+type shapeClass struct {
+	weight       float64
+	inLo, inHi   int // inclusive prompt-length range
+	outLo, outHi int // inclusive output-length range
+}
+
+// serveMixture is the default request-shape mixture of PoissonTrace:
+// chat-style short exchanges, document-grounded prompts with short
+// answers, and generation-heavy completions — the heterogeneity regime
+// continuous batching exists for.
+var serveMixture = []shapeClass{
+	{weight: 0.5, inLo: 64, inHi: 256, outLo: 32, outHi: 192},    // chat
+	{weight: 0.25, inLo: 512, inHi: 1024, outLo: 32, outHi: 128}, // long-doc QA
+	{weight: 0.25, inLo: 96, inHi: 192, outLo: 256, outHi: 512},  // generation-heavy
+}
+
+// PoissonTrace returns n requests with exponential inter-arrival times at
+// the given mean rate (requests/second) and shapes drawn from the default
+// heterogeneous mixture. Deterministic in the seed.
+func PoissonTrace(n int, rate float64, seed int64) Trace {
+	if n <= 0 || rate <= 0 {
+		panic(fmt.Sprintf("workload: bad trace n=%d rate=%v", n, rate))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	t := make(Trace, 0, n)
+	clock := 0.0
+	for i := 0; i < n; i++ {
+		clock += rng.ExpFloat64() / rate
+		cls := pickClass(rng, serveMixture)
+		t = append(t, Request{
+			ID:      i,
+			Arrival: clock,
+			Input:   cls.inLo + rng.Intn(cls.inHi-cls.inLo+1),
+			Output:  cls.outLo + rng.Intn(cls.outHi-cls.outLo+1),
+		})
+	}
+	return t
+}
+
+// UniformTrace returns n identical-shape requests at fixed spacing —
+// the lockstep-like control workload for serving experiments and the
+// replay tests.
+func UniformTrace(n int, spacing float64, input, output int) Trace {
+	if n <= 0 || spacing < 0 {
+		panic(fmt.Sprintf("workload: bad trace n=%d spacing=%v", n, spacing))
+	}
+	t := make(Trace, 0, n)
+	for i := 0; i < n; i++ {
+		t = append(t, Request{ID: i, Arrival: float64(i) * spacing, Input: input, Output: output})
+	}
+	return t
+}
+
+// pickClass samples one mixture mode by weight.
+func pickClass(rng *rand.Rand, classes []shapeClass) shapeClass {
+	var total float64
+	for _, c := range classes {
+		total += c.weight
+	}
+	x := rng.Float64() * total
+	for _, c := range classes {
+		if x < c.weight {
+			return c
+		}
+		x -= c.weight
+	}
+	return classes[len(classes)-1]
+}
+
+// Sorted returns a copy of the trace in arrival order with IDs preserved,
+// for traces assembled from merged sources.
+func (t Trace) Sorted() Trace {
+	out := append(Trace(nil), t...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Arrival < out[j].Arrival })
+	return out
 }

@@ -196,3 +196,68 @@ func max(a, b int) int {
 	}
 	return b
 }
+
+func TestPoissonTraceDeterministicAndValid(t *testing.T) {
+	a := PoissonTrace(64, 2.5, 9)
+	b := PoissonTrace(64, 2.5, 9)
+	if len(a) != 64 {
+		t.Fatalf("trace length %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if err := a.Validate(2048); err != nil {
+		t.Fatalf("generated trace invalid: %v", err)
+	}
+	if c := PoissonTrace(64, 2.5, 10); c[5] == a[5] && c[6] == a[6] {
+		t.Errorf("different seeds produced identical requests")
+	}
+	// Mean inter-arrival should be near 1/rate.
+	mean := a[len(a)-1].Arrival / float64(len(a))
+	if mean < 0.2 || mean > 0.8 {
+		t.Errorf("mean inter-arrival %.3f implausible for rate 2.5", mean)
+	}
+	// The mixture must actually produce heterogeneous shapes.
+	shapes := map[[2]int]bool{}
+	for _, r := range a {
+		shapes[[2]int{r.Input, r.Output}] = true
+	}
+	if len(shapes) < 16 {
+		t.Errorf("only %d distinct shapes in 64 requests", len(shapes))
+	}
+	if got := a.TotalOutput(); got <= 0 {
+		t.Errorf("total output %d", got)
+	}
+}
+
+func TestUniformTraceAndValidate(t *testing.T) {
+	tr := UniformTrace(4, 0.25, 128, 64)
+	if err := tr.Validate(2048); err != nil {
+		t.Fatalf("uniform trace invalid: %v", err)
+	}
+	if tr[3].Arrival != 0.75 || tr[3].Input != 128 || tr[3].Output != 64 {
+		t.Errorf("unexpected request %+v", tr[3])
+	}
+	bad := []Trace{
+		{},
+		{{ID: 0, Arrival: 1, Input: 8, Output: 8}, {ID: 1, Arrival: 0.5, Input: 8, Output: 8}},
+		{{ID: 0, Arrival: 0, Input: 0, Output: 8}},
+		{{ID: 0, Arrival: 0, Input: 8, Output: 8}},
+		// Duplicate IDs would alias per-request serving records.
+		{{ID: 3, Arrival: 0, Input: 8, Output: 8}, {ID: 3, Arrival: 1, Input: 8, Output: 8}},
+	}
+	maxSeqs := []int{0, 0, 0, 15, 0}
+	for i, b := range bad {
+		if err := b.Validate(maxSeqs[i]); err == nil {
+			t.Errorf("bad trace %d accepted", i)
+		}
+	}
+	// Sorted restores arrival order.
+	shuffled := Trace{{ID: 1, Arrival: 2}, {ID: 0, Arrival: 1}}
+	s := shuffled.Sorted()
+	if s[0].ID != 0 || s[1].ID != 1 {
+		t.Errorf("Sorted: %+v", s)
+	}
+}

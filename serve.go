@@ -1,0 +1,83 @@
+package alisa
+
+import (
+	"repro/internal/experiments"
+	"repro/internal/memsim"
+	"repro/internal/model"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// Request is one timestamped serving request (see workload.Request).
+type Request = workload.Request
+
+// TraceWorkload is an arrival-ordered serving workload.
+type TraceWorkload = workload.Trace
+
+// PoissonTrace samples n requests at the given mean arrival rate
+// (requests/second) with heterogeneous input/output lengths, deterministic
+// in the seed.
+func PoissonTrace(n int, rate float64, seed int64) TraceWorkload {
+	return workload.PoissonTrace(n, rate, seed)
+}
+
+// UniformTrace returns n identical-shape requests at fixed spacing.
+func UniformTrace(n int, spacing float64, input, output int) TraceWorkload {
+	return workload.UniformTrace(n, spacing, input, output)
+}
+
+// ServeOptions configures one continuous-batching serving simulation.
+type ServeOptions struct {
+	// Model is a catalog name (see Models); Profile a hardware name (empty
+	// selects the paper's pairing for the model scale).
+	Model   string
+	Profile string
+	// Scheduler is the per-request KV placement policy: alisa, flexgen,
+	// vllm, hf-accelerate, gpu-only, no-cache.
+	Scheduler string
+
+	Trace TraceWorkload
+
+	KVSparsity float64
+	KVBits     int
+
+	// MaxBatch caps concurrent decode sequences (0 → 16). SLOTTFT/SLOTPOT
+	// are the goodput service-level objectives (0 → 10 s / 0.5 s).
+	MaxBatch int
+	SLOTTFT  float64
+	SLOTPOT  float64
+}
+
+// ServeResult is the outcome of a serving simulation; see serve.Result.
+type ServeResult = serve.Result
+
+// Serve runs a continuous-batching serving simulation: requests arrive on
+// the trace timeline, a dynamic decode batch forms under admission
+// control, and the chosen scheduler places each request's KV — the
+// multi-request, heterogeneous-traffic counterpart of Simulate.
+func Serve(opts ServeOptions) (*ServeResult, error) {
+	mc, err := model.ByName(opts.Model)
+	if err != nil {
+		return nil, err
+	}
+	var prof memsim.Profile
+	if opts.Profile == "" {
+		prof = experiments.PaperProfile(mc)
+	} else {
+		prof, err = memsim.ProfileByName(opts.Profile)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return serve.Run(serve.Config{
+		Model:      mc,
+		Profile:    prof,
+		Scheduler:  opts.Scheduler,
+		Trace:      opts.Trace,
+		KVSparsity: opts.KVSparsity,
+		KVBits:     opts.KVBits,
+		MaxBatch:   opts.MaxBatch,
+		SLOTTFT:    opts.SLOTTFT,
+		SLOTPOT:    opts.SLOTPOT,
+	})
+}

@@ -6,35 +6,55 @@
 // vLLM, DeepSpeed-ZeRO, HuggingFace Accelerate), and a simulated single
 // GPU–CPU system standing in for the paper's V100/H100 testbeds.
 //
-// The public surface has three levels:
+// The public surface centres on the compiled Engine:
 //
-//   - Simulate runs one end-to-end inference simulation (model ×
-//     hardware × scheduler × workload) and reports throughput, the
-//     execution-time breakdown, and the memory trajectory — the unit of
-//     the paper's system evaluation.
-//   - EvaluatePolicy runs a sparse-attention policy against a calibrated
-//     synthetic attention process and reports attention-mass recall and
-//     Spearman correlation — the unit of the paper's accuracy evaluation.
+//   - New compiles one configuration — model × hardware × scheduler ×
+//     sparsity × quantization, expressed as functional options — resolving
+//     and validating every name exactly once.
+//   - Engine.Simulate runs one end-to-end lockstep inference simulation
+//     and reports throughput, the execution-time breakdown, and the
+//     memory trajectory — the unit of the paper's system evaluation.
+//   - Engine.Serve runs a continuous-batching serving simulation over an
+//     arrival trace and reports TTFT/TPOT/E2E latency, throughput, and
+//     goodput — the multi-request counterpart of Simulate.
+//   - Engine.EvaluatePolicy runs a sparse-attention policy against a
+//     calibrated synthetic attention process and reports attention-mass
+//     recall and Spearman correlation — the unit of the paper's accuracy
+//     evaluation.
 //   - Experiments/RunExperiment regenerate every table and figure of the
 //     paper's evaluation section.
 //
-// See DESIGN.md for the system inventory and the hardware-gate
-// substitutions, and EXPERIMENTS.md for paper-vs-measured results.
+// All three run methods take a context.Context and stream progress to an
+// optional Observer (WithObserver). The scheduler, attention-policy,
+// model, and hardware-profile name spaces are open registries: scenarios
+// beyond the paper's evaluation grid plug in through
+// sched.Register, attention.Register, model.Register, and
+// memsim.RegisterProfile without touching the engine.
+//
+// The free functions Simulate, Serve, EvaluatePolicy, and NewPolicy are
+// retained as deprecated one-shot shims over Engine with bit-identical
+// results.
+//
+// See DESIGN.md for the system inventory, the hardware-gate
+// substitutions, and the public API contract (§7), and EXPERIMENTS.md for
+// paper-vs-measured results.
 package alisa
 
 import (
-	"fmt"
+	"context"
 
 	"repro/internal/attention"
 	"repro/internal/core"
 	"repro/internal/experiments"
-	"repro/internal/memsim"
 	"repro/internal/model"
-	"repro/internal/oracle"
 	"repro/internal/sched"
 )
 
 // Options configures one simulated inference run.
+//
+// Deprecated: Options is the one-shot configuration for the Simulate
+// shim. New code should compile an Engine once with New and functional
+// options, then call Engine.Simulate per workload shape.
 type Options struct {
 	// Model is a catalog name: opt-6.7b, opt-13b, opt-30b, llama-7b,
 	// llama-13b, llama-33b, pythia-6.9b, pythia-12b.
@@ -61,51 +81,44 @@ type Options struct {
 type Result = core.Result
 
 // Simulate runs one end-to-end inference simulation.
+//
+// Deprecated: Simulate compiles a throwaway Engine per call. New code
+// should call New once and Engine.Simulate per shape; results for
+// accepted configurations are bit-identical. One deliberate behaviour
+// change rides along: KVBits is validated up front to {8, 16}, so the
+// INT4 setting the old path let through is now rejected (INT4 remains an
+// internal extension; see the extension-int4 experiment).
 func Simulate(opts Options) (*Result, error) {
-	mc, err := model.ByName(opts.Model)
+	e, err := New(opts.Model,
+		maybeProfile(opts.Profile),
+		WithScheduler(opts.Scheduler),
+		WithKVSparsity(opts.KVSparsity),
+		WithKVBits(opts.KVBits),
+	)
 	if err != nil {
 		return nil, err
 	}
-	var prof memsim.Profile
-	if opts.Profile == "" {
-		prof = experiments.PaperProfile(mc)
-	} else {
-		prof, err = memsim.ProfileByName(opts.Profile)
-		if err != nil {
-			return nil, err
-		}
+	return e.Simulate(context.Background(), Shape{Batch: opts.Batch, Input: opts.Input, Output: opts.Output})
+}
+
+// maybeProfile returns WithProfile(name), or a no-op for the empty name
+// (the paper-pairing default) so the shims can pass legacy zero values
+// through unchanged.
+func maybeProfile(name string) Option {
+	if name == "" {
+		return func(*Engine) error { return nil }
 	}
-	s, err := sched.ByName(opts.Scheduler)
-	if err != nil {
-		return nil, err
-	}
-	return core.Run(core.Config{
-		Model: mc, Profile: prof, Scheduler: s,
-		Batch: opts.Batch, Input: opts.Input, Output: opts.Output,
-		KVSparsity: opts.KVSparsity, KVBits: opts.KVBits,
-	})
+	return WithProfile(name)
 }
 
 // Policy is a sparse-attention token-selection policy (dense, local,
-// strided, swa, h2o).
+// strided, swa, h2o, or anything added through attention.Register).
 type Policy = attention.Policy
 
-// NewPolicy constructs a policy by name at the given caching ratio
-// (1 − KV sparsity) for a model with the given layer count.
+// NewPolicy constructs a policy by registered name at the given caching
+// ratio (1 − KV sparsity) for a model with the given layer count.
 func NewPolicy(name string, cachingRatio float64, layers int) (Policy, error) {
-	switch name {
-	case "dense":
-		return attention.NewDense(), nil
-	case "local":
-		return attention.NewLocal(cachingRatio), nil
-	case "strided":
-		return attention.NewStrided(cachingRatio), nil
-	case "swa":
-		return attention.NewSWA(cachingRatio, layers), nil
-	case "h2o":
-		return attention.NewH2O(cachingRatio, layers), nil
-	}
-	return nil, fmt.Errorf("alisa: unknown policy %q", name)
+	return attention.ByName(name, cachingRatio, layers)
 }
 
 // PolicyReport summarises an accuracy-side evaluation of a policy.
@@ -115,6 +128,12 @@ type PolicyReport struct {
 	// MeanRecall is the average dense-attention mass the retained token
 	// sets captured; Spearman is the rank correlation of the policy's
 	// score distribution against dense attention (paper Fig. 4's ρ).
+	//
+	// For the dense policy Spearman is identically 1, by definition
+	// rather than by measurement: dense attention is the reference
+	// distribution, and the rank correlation of a distribution with
+	// itself is exactly 1 (identical ranks), so no numerical estimate is
+	// run for it.
 	MeanRecall float64
 	Spearman   float64
 }
@@ -122,35 +141,21 @@ type PolicyReport struct {
 // EvaluatePolicy runs the named policy at the given KV sparsity against an
 // attention process calibrated to the named model, for `steps` decode
 // steps.
+//
+// Deprecated: EvaluatePolicy compiles a throwaway Engine per call. New
+// code should call New(model, WithKVSparsity(s), WithSeed(seed)) once and
+// Engine.EvaluatePolicy per policy; the results are bit-identical.
 func EvaluatePolicy(modelName, policyName string, kvSparsity float64, steps int, seed int64) (*PolicyReport, error) {
-	mc, err := model.ByName(modelName)
-	if err != nil {
-		return nil, err
-	}
-	spec := oracle.SpecForModel(mc, seed)
-	spec.Layers = 4 // layer sample; the process is layer-exchangeable
-	pol, err := NewPolicy(policyName, 1-kvSparsity, spec.Layers)
-	if err != nil {
-		return nil, err
-	}
+	// Steps are validated before any spec or policy construction, here
+	// and in Engine.EvaluatePolicy.
 	if steps <= 0 {
-		return nil, fmt.Errorf("alisa: steps must be positive, got %d", steps)
+		return nil, &ConfigError{Field: "Steps", Value: steps, Reason: "must be positive"}
 	}
-	ev := oracle.Evaluate(spec, pol, steps)
-	rep := &PolicyReport{
-		Policy:     policyName,
-		KVSparsity: kvSparsity,
-		MeanRecall: ev.MeanRecall,
-		Spearman:   1,
+	e, err := New(modelName, WithKVSparsity(kvSparsity), WithSeed(seed))
+	if err != nil {
+		return nil, err
 	}
-	if policyName != "dense" {
-		rho, err := ev.SpearmanVsDense()
-		if err != nil {
-			return nil, err
-		}
-		rep.Spearman = rho
-	}
-	return rep, nil
+	return e.EvaluatePolicy(context.Background(), policyName, steps)
 }
 
 // Experiment identifies one reproducible table or figure.
@@ -173,8 +178,11 @@ func RunExperiment(id string) (string, error) {
 	return res.Render(), nil
 }
 
-// Models lists the model catalog names.
+// Models lists the built-in model catalog names. Models added through
+// model.Register resolve by name in New but are not listed here.
 func Models() []string { return model.Names() }
 
-// Schedulers lists the scheduler names in evaluation order.
+// Schedulers lists the paper's scheduler evaluation set in evaluation
+// order. Schedulers added through sched.Register resolve by name in
+// WithScheduler but are not listed here.
 func Schedulers() []string { return sched.Names() }

@@ -22,6 +22,7 @@ package alisa
 //	Fig. 12c  BenchmarkFig12c_Ablation        (full_stack_gain ×)
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -368,7 +369,7 @@ func BenchmarkEngineDecodeStep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Scheduler = sched.NewAlisa()
-		if _, err := core.Run(cfg); err != nil {
+		if _, err := core.Run(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

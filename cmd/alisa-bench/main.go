@@ -1,5 +1,6 @@
 // Command alisa-bench regenerates the paper's evaluation: every table and
-// figure, or a selected subset.
+// figure, or a selected subset — and benches the compiled engine itself
+// over a (model × scheduler × batch) grid.
 //
 // Usage:
 //
@@ -7,6 +8,7 @@
 //	alisa-bench -run fig9        # one experiment
 //	alisa-bench -all             # the full evaluation
 //	alisa-bench -all -json       # machine-readable timings on stdout
+//	alisa-bench -grid            # engine grid: per-cell wall/sim timing
 //
 // With -json the rendered reports are suppressed and a single JSON
 // document is written to stdout instead, so the bench trajectory can be
@@ -21,16 +23,26 @@
 //	    ...
 //	  ]
 //	}
+//
+// With -grid the engine API is exercised directly: one alisa.Engine is
+// compiled per (model, scheduler) pair and reused across every batch-size
+// cell, and a streaming Observer collects per-cell decode-step counts and
+// simulated time alongside the measured wall time — the per-cell timing
+// view of the public API's hot path.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	alisa "repro"
 	"repro/internal/experiments"
+	"repro/internal/textfmt"
 )
 
 // timing is one experiment's entry in the -json report.
@@ -52,10 +64,19 @@ func main() {
 	run := flag.String("run", "", "run one experiment by id (e.g. fig9)")
 	all := flag.Bool("all", false, "run every experiment in paper order")
 	asJSON := flag.Bool("json", false, "emit machine-readable timings instead of rendered reports")
+	grid := flag.Bool("grid", false, "bench the compiled engine over a model × scheduler × batch grid")
+	gridModels := flag.String("grid-models", "opt-6.7b,opt-13b", "comma-separated models for -grid")
+	gridScheds := flag.String("grid-sched", "alisa,flexgen,vllm", "comma-separated schedulers for -grid")
+	gridBatches := flag.String("grid-batches", "8,16,32", "comma-separated batch sizes for -grid")
 	flag.Parse()
 
 	var runners []experiments.Runner
 	switch {
+	case *grid:
+		if err := runGrid(*gridModels, *gridScheds, *gridBatches); err != nil {
+			fatal(err)
+		}
+		return
 	case *list:
 		for _, r := range experiments.All() {
 			fmt.Printf("%-8s %s\n", r.ID, r.Title)
@@ -91,6 +112,66 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// cellStats accumulates one grid cell's observer events.
+type cellStats struct {
+	steps int
+}
+
+// runGrid benches the compiled-engine hot path: each (model, scheduler)
+// engine is compiled once, then every batch cell reuses it. The observer
+// counts the decode steps the cell actually simulated.
+func runGrid(models, scheds, batches string) error {
+	var sizes []int
+	for _, b := range strings.Split(batches, ",") {
+		var v int
+		if _, err := fmt.Sscanf(strings.TrimSpace(b), "%d", &v); err != nil || v <= 0 {
+			return fmt.Errorf("bad -grid-batches entry %q", b)
+		}
+		sizes = append(sizes, v)
+	}
+
+	ctx := context.Background()
+	tb := textfmt.NewTable("model", "scheduler", "batch", "wall", "sim", "steps", "tok/s")
+	for _, modelName := range strings.Split(models, ",") {
+		modelName = strings.TrimSpace(modelName)
+		for _, schedName := range strings.Split(scheds, ",") {
+			schedName = strings.TrimSpace(schedName)
+			stats := &cellStats{}
+			opts := []alisa.Option{
+				alisa.WithScheduler(schedName),
+				alisa.WithObserver(alisa.ObserverFuncs{
+					Step: func(e alisa.StepEvent) { stats.steps++ },
+				}),
+			}
+			if schedName == "alisa" {
+				opts = append(opts, alisa.WithKVSparsity(0.8), alisa.WithKVBits(8))
+			}
+			eng, err := alisa.New(modelName, opts...)
+			if err != nil {
+				return err
+			}
+			for _, batch := range sizes {
+				*stats = cellStats{}
+				start := time.Now()
+				res, err := eng.Simulate(ctx, alisa.Shape{Batch: batch, Input: 128, Output: 256})
+				wall := time.Since(start)
+				if err != nil {
+					tb.AddRow(modelName, schedName, fmt.Sprint(batch),
+						wall.Round(time.Microsecond).String(), "—", "—", "error: "+err.Error())
+					continue
+				}
+				tb.AddRow(modelName, schedName, fmt.Sprint(batch),
+					wall.Round(time.Microsecond).String(),
+					textfmt.Seconds(res.TotalSeconds),
+					fmt.Sprint(stats.steps),
+					fmt.Sprintf("%.1f", res.Throughput))
+			}
+		}
+	}
+	fmt.Println(tb.String())
+	return nil
 }
 
 func execute(r experiments.Runner, quiet bool) (timing, error) {

@@ -11,15 +11,23 @@
 //	alisa-serve -sweep 0.5,1,2,4,8               # load sweep: throughput
 //	                                             # and goodput vs offered
 //	                                             # load per scheduler
+//	alisa-serve -progress                        # live admit/preempt/finish
+//	                                             # events on stderr
 //
 // The baselines run dense FP16 KV; ALISA runs at -sparsity / -bits
 // (paper headline: 0.8 / INT8), mirroring the lockstep evaluation.
+//
+// Each scheduler's engine is compiled once and reused across every sweep
+// rate, and Ctrl-C cancels the run in flight, reporting metrics over the
+// requests that completed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -40,6 +48,7 @@ func main() {
 	sloTTFT := flag.Float64("slo-ttft", 10, "TTFT SLO seconds (goodput)")
 	sloTPOT := flag.Float64("slo-tpot", 0.5, "TPOT SLO seconds/token (goodput)")
 	sweep := flag.String("sweep", "", "comma-separated arrival rates for a load sweep")
+	progress := flag.Bool("progress", false, "stream admission/preemption/completion events to stderr")
 	flag.Parse()
 
 	if *n <= 0 {
@@ -63,6 +72,41 @@ func main() {
 		}
 	}
 
+	// Compile one engine per scheduler up front; the sweep below reuses
+	// them across every offered-load point. A scheduler that fails to
+	// compile (unknown name, bad option) renders as an error row in every
+	// table instead of aborting the comparison.
+	engines := make(map[string]*alisa.Engine, len(names))
+	compileErr := make(map[string]error, len(names))
+	for i, name := range names {
+		name = strings.TrimSpace(name)
+		names[i] = name
+		opts := []alisa.Option{
+			alisa.WithScheduler(name),
+			alisa.WithMaxBatch(*maxBatch),
+			alisa.WithSLO(*sloTTFT, *sloTPOT),
+		}
+		if *profile != "" {
+			opts = append(opts, alisa.WithProfile(*profile))
+		}
+		if name == "alisa" {
+			opts = append(opts, alisa.WithKVSparsity(*sparsity), alisa.WithKVBits(*bits))
+		}
+		if *progress {
+			opts = append(opts, alisa.WithObserver(progressObserver(name)))
+		}
+		eng, err := alisa.New(*modelName, opts...)
+		if err != nil {
+			compileErr[name] = err
+			continue
+		}
+		engines[name] = eng
+	}
+
+	// Ctrl-C cancels the run in flight; its partial metrics still print.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	for _, r := range rates {
 		trace := alisa.PoissonTrace(*n, r, *seed)
 		fmt.Printf("## %s, %d requests, Poisson %.2f req/s (offered load seed %d)\n\n",
@@ -70,22 +114,20 @@ func main() {
 		tb := textfmt.NewTable("scheduler", "tput tok/s", "goodput", "SLO%", "TTFT p50", "TTFT p99",
 			"TPOT p50", "TPOT p99", "preempt", "batch")
 		for _, name := range names {
-			name = strings.TrimSpace(name)
-			opts := alisa.ServeOptions{
-				Model: *modelName, Profile: *profile, Scheduler: name,
-				Trace: trace, KVBits: 16,
-				MaxBatch: *maxBatch, SLOTTFT: *sloTTFT, SLOTPOT: *sloTPOT,
-			}
-			if name == "alisa" {
-				opts.KVSparsity = *sparsity
-				opts.KVBits = *bits
-			}
-			res, err := alisa.Serve(opts)
-			if err != nil {
+			if err := compileErr[name]; err != nil {
 				tb.AddRow(name, "error: "+err.Error(), "", "", "", "", "", "", "", "")
 				continue
 			}
-			tb.AddRow(name,
+			res, err := engines[name].Serve(ctx, trace)
+			if err != nil && !(res != nil && ctx.Err() != nil) {
+				tb.AddRow(name, "error: "+err.Error(), "", "", "", "", "", "", "", "")
+				continue
+			}
+			label := name
+			if ctx.Err() != nil {
+				label = name + " (cancelled: " + fmt.Sprint(len(res.Requests)) + "/" + fmt.Sprint(*n) + " done)"
+			}
+			tb.AddRow(label,
 				fmt.Sprintf("%.1f", res.Throughput),
 				fmt.Sprintf("%.1f", res.Goodput),
 				fmt.Sprintf("%.0f%%", res.SLOAttainment*100),
@@ -95,6 +137,31 @@ func main() {
 				fmt.Sprintf("%.1f", res.MeanBatch))
 		}
 		fmt.Println(tb.String())
+		if ctx.Err() != nil {
+			fmt.Println("(run cancelled; remaining schedulers and rates skipped)")
+			return
+		}
+	}
+}
+
+// progressObserver streams serving events live to stderr, prefixed with
+// the scheduler under test.
+func progressObserver(sched string) alisa.Observer {
+	return alisa.ObserverFuncs{
+		Admission: func(e alisa.AdmissionEvent) {
+			fmt.Fprintf(os.Stderr, "[%s] t=%-10s admit   r%-3d in=%d out=%d wait=%s batch=%d\n",
+				sched, textfmt.Seconds(e.Clock), e.Request, e.Input, e.Output,
+				textfmt.Seconds(e.Wait), e.Batch)
+		},
+		Preemption: func(e alisa.PreemptionEvent) {
+			fmt.Fprintf(os.Stderr, "[%s] t=%-10s preempt r%-3d gen=%d\n",
+				sched, textfmt.Seconds(e.Clock), e.Request, e.Generated)
+		},
+		Completion: func(e alisa.CompletionEvent) {
+			fmt.Fprintf(os.Stderr, "[%s] t=%-10s finish  r%-3d ttft=%s tpot=%s\n",
+				sched, textfmt.Seconds(e.Clock), e.Request,
+				textfmt.Seconds(e.TTFT), textfmt.Seconds(e.TPOT))
+		},
 	}
 }
 

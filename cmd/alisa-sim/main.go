@@ -6,12 +6,15 @@
 //
 //	alisa-sim -model opt-13b -scheduler alisa -batch 64 -sparsity 0.8 -kvbits 8
 //	alisa-sim -model opt-6.7b -scheduler flexgen -batch 32
+//	alisa-sim -progress   # stream per-step progress to stderr
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	alisa "repro"
@@ -19,30 +22,61 @@ import (
 )
 
 func main() {
-	opts := alisa.Options{}
-	flag.StringVar(&opts.Model, "model", "opt-6.7b", "model: "+strings.Join(alisa.Models(), ", "))
-	flag.StringVar(&opts.Profile, "profile", "", "hardware profile (default: paper pairing for the model)")
-	flag.StringVar(&opts.Scheduler, "scheduler", "alisa", "scheduler: "+strings.Join(alisa.Schedulers(), ", "))
-	flag.IntVar(&opts.Batch, "batch", 32, "batch size")
-	flag.IntVar(&opts.Input, "input", 128, "prompt length s")
-	flag.IntVar(&opts.Output, "output", 512, "generated tokens n")
-	flag.Float64Var(&opts.KVSparsity, "sparsity", 0.8, "KV sparsity in [0,1)")
-	flag.IntVar(&opts.KVBits, "kvbits", 8, "KV precision: 16 or 8")
+	modelName := flag.String("model", "opt-6.7b", "model: "+strings.Join(alisa.Models(), ", "))
+	profile := flag.String("profile", "", "hardware profile (default: paper pairing for the model)")
+	scheduler := flag.String("scheduler", "alisa", "scheduler: "+strings.Join(alisa.Schedulers(), ", "))
+	batch := flag.Int("batch", 32, "batch size")
+	input := flag.Int("input", 128, "prompt length s")
+	output := flag.Int("output", 512, "generated tokens n")
+	sparsity := flag.Float64("sparsity", 0.8, "KV sparsity in [0,1)")
+	kvbits := flag.Int("kvbits", 8, "KV precision: 16 or 8")
+	progress := flag.Bool("progress", false, "stream per-step progress to stderr")
 	flag.Parse()
 
-	res, err := alisa.Simulate(opts)
+	opts := []alisa.Option{
+		alisa.WithScheduler(*scheduler),
+		alisa.WithKVSparsity(*sparsity),
+		alisa.WithKVBits(*kvbits),
+	}
+	if *profile != "" {
+		opts = append(opts, alisa.WithProfile(*profile))
+	}
+	if *progress {
+		opts = append(opts, alisa.WithObserver(alisa.ObserverFuncs{
+			Step: func(e alisa.StepEvent) {
+				if e.Step%64 == 0 {
+					fmt.Fprintf(os.Stderr, "step %d: t=%s batch=%d\n",
+						e.Step, textfmt.Seconds(e.Clock), e.Batch)
+				}
+			},
+		}))
+	}
+	eng, err := alisa.New(*modelName, opts...)
 	if err != nil {
-		if res != nil && res.OOM {
-			fmt.Printf("result: OOM — %v\n", err)
-			os.Exit(0)
-		}
-		fmt.Fprintln(os.Stderr, "alisa-sim:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 
-	fmt.Printf("model=%s scheduler=%s batch=%d s=%d n=%d sparsity=%.0f%% kv=INT%d\n\n",
-		opts.Model, opts.Scheduler, opts.Batch, opts.Input, opts.Output,
-		opts.KVSparsity*100, opts.KVBits)
+	// Ctrl-C cancels the run and reports the partial measurements.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	res, err := eng.Simulate(ctx, alisa.Shape{Batch: *batch, Input: *input, Output: *output})
+	if err != nil {
+		switch {
+		case res != nil && res.OOM:
+			fmt.Printf("result: OOM — %v\n", err)
+			os.Exit(0)
+		case res != nil && ctx.Err() != nil:
+			fmt.Printf("cancelled after %s simulated (%d steps measured)\n",
+				textfmt.Seconds(res.TotalSeconds), len(res.Steps))
+			os.Exit(0)
+		}
+		fatal(err)
+	}
+
+	fmt.Printf("model=%s profile=%s scheduler=%s batch=%d s=%d n=%d sparsity=%.0f%% kv=INT%d\n\n",
+		eng.Model(), eng.Profile(), eng.Scheduler(), *batch, *input, *output,
+		*sparsity*100, *kvbits)
 	fmt.Printf("throughput:  %.1f tokens/s (%d tokens in %s)\n",
 		res.Throughput, res.Tokens, textfmt.Seconds(res.TotalSeconds))
 	if len(res.Waves) > 1 {
@@ -57,4 +91,9 @@ func main() {
 	if res.Phase3Start >= 0 {
 		fmt.Printf("phase III:   from decode step %d\n", res.Phase3Start)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "alisa-sim:", err)
+	os.Exit(1)
 }

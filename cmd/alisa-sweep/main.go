@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -36,13 +37,19 @@ func main() {
 		mc.Name, prof.Name, *batch, *input, *output, *kvbits)
 
 	tb := textfmt.NewTable("KV sparsity", "alpha", "beta", "p1", "p2", "predicted", "measured tput")
+	shape := alisa.Shape{Batch: *batch, Input: *input, Output: *output}
 	for _, sparsity := range []float64{0, 0.2, 0.4, 0.6, 0.8} {
 		params := optimize(mc, prof, *batch, *input, *output, sparsity, *kvbits)
-		res, err := alisa.Simulate(alisa.Options{
-			Model: mc.Name, Profile: prof.Name, Scheduler: "alisa",
-			Batch: *batch, Input: *input, Output: *output,
-			KVSparsity: sparsity, KVBits: *kvbits,
-		})
+		eng, err := alisa.New(mc.Name,
+			alisa.WithProfile(prof.Name),
+			alisa.WithScheduler("alisa"),
+			alisa.WithKVSparsity(sparsity),
+			alisa.WithKVBits(*kvbits),
+		)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := eng.Simulate(context.Background(), shape)
 		measured := "OOM"
 		if err == nil {
 			measured = fmt.Sprintf("%.1f tok/s", res.Throughput)

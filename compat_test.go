@@ -1,0 +1,120 @@
+package alisa
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// The deprecated free functions are thin shims over the compiled Engine.
+// These tests pin the equivalence bit for bit: any drift between the two
+// paths — results, event logs, or reports — is a regression.
+
+func TestSimulateShimBitIdentical(t *testing.T) {
+	cases := []Options{
+		{Model: "opt-6.7b", Scheduler: "alisa", Batch: 8, Input: 64, Output: 128, KVSparsity: 0.8, KVBits: 8},
+		{Model: "opt-6.7b", Scheduler: "flexgen", Batch: 8, Input: 64, Output: 128, KVBits: 16},
+		{Model: "opt-6.7b", Profile: "H100-80GB", Scheduler: "vllm", Batch: 16, Input: 64, Output: 64, KVBits: 16},
+		{Model: "opt-6.7b", Scheduler: "no-cache", Batch: 2, Input: 32, Output: 32, KVBits: 16},
+	}
+	for _, opts := range cases {
+		shim, err := Simulate(opts)
+		if err != nil {
+			t.Fatalf("%+v: shim: %v", opts, err)
+		}
+
+		engOpts := []Option{
+			WithScheduler(opts.Scheduler),
+			WithKVSparsity(opts.KVSparsity),
+			WithKVBits(opts.KVBits),
+		}
+		if opts.Profile != "" {
+			engOpts = append(engOpts, WithProfile(opts.Profile))
+		}
+		eng, err := New(opts.Model, engOpts...)
+		if err != nil {
+			t.Fatalf("%+v: New: %v", opts, err)
+		}
+		direct, err := eng.Simulate(context.Background(), Shape{Batch: opts.Batch, Input: opts.Input, Output: opts.Output})
+		if err != nil {
+			t.Fatalf("%+v: engine: %v", opts, err)
+		}
+		if !reflect.DeepEqual(shim, direct) {
+			t.Fatalf("%s/%s: shim and engine results diverged\nshim:   %+v\nengine: %+v",
+				opts.Model, opts.Scheduler, shim, direct)
+		}
+	}
+}
+
+func TestServeShimBitIdentical(t *testing.T) {
+	trace := PoissonTrace(12, 3, 9)
+	cases := []ServeOptions{
+		{Model: "opt-6.7b", Scheduler: "alisa", Trace: trace, KVSparsity: 0.8, KVBits: 8, MaxBatch: 6},
+		{Model: "opt-6.7b", Scheduler: "vllm", Trace: trace, KVBits: 16},
+		{Model: "opt-6.7b", Scheduler: "hf-accelerate", Trace: trace, KVBits: 16, SLOTTFT: 5, SLOTPOT: 0.2},
+	}
+	for _, opts := range cases {
+		shim, err := Serve(opts)
+		if err != nil {
+			t.Fatalf("%+v: shim: %v", opts, err)
+		}
+
+		engOpts := []Option{
+			WithScheduler(opts.Scheduler),
+			WithKVSparsity(opts.KVSparsity),
+		}
+		if opts.KVBits != 0 {
+			engOpts = append(engOpts, WithKVBits(opts.KVBits))
+		}
+		if opts.MaxBatch != 0 {
+			engOpts = append(engOpts, WithMaxBatch(opts.MaxBatch))
+		}
+		if opts.SLOTTFT != 0 {
+			engOpts = append(engOpts, WithSLO(opts.SLOTTFT, opts.SLOTPOT))
+		}
+		eng, err := New(opts.Model, engOpts...)
+		if err != nil {
+			t.Fatalf("%+v: New: %v", opts, err)
+		}
+		direct, err := eng.Serve(context.Background(), opts.Trace)
+		if err != nil {
+			t.Fatalf("%+v: engine: %v", opts, err)
+		}
+		if shim.RenderEventLog() != direct.RenderEventLog() {
+			t.Fatalf("%s: shim and engine event logs diverged", opts.Scheduler)
+		}
+		if !reflect.DeepEqual(shim, direct) {
+			t.Fatalf("%s: shim and engine serve results diverged\nshim:   %+v\nengine: %+v",
+				opts.Scheduler, shim, direct)
+		}
+	}
+}
+
+func TestEvaluatePolicyShimBitIdentical(t *testing.T) {
+	for _, policy := range []string{"dense", "local", "strided", "h2o", "swa"} {
+		shim, err := EvaluatePolicy("opt-13b", policy, 0.8, 96, 42)
+		if err != nil {
+			t.Fatalf("%s: shim: %v", policy, err)
+		}
+		eng, err := New("opt-13b", WithKVSparsity(0.8), WithSeed(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := eng.EvaluatePolicy(context.Background(), policy, 96)
+		if err != nil {
+			t.Fatalf("%s: engine: %v", policy, err)
+		}
+		if !reflect.DeepEqual(shim, direct) {
+			t.Fatalf("%s: shim %+v != engine %+v", policy, shim, direct)
+		}
+	}
+	// The dense reference is the identity by definition: ρ ≡ 1 exactly,
+	// not approximately (see PolicyReport.Spearman).
+	dense, err := EvaluatePolicy("opt-13b", "dense", 0, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense.Spearman != 1 || dense.MeanRecall != 1 {
+		t.Fatalf("dense reference not the identity: %+v", dense)
+	}
+}

@@ -1,0 +1,330 @@
+package alisa
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/attention"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/memsim"
+	"repro/internal/model"
+	"repro/internal/oracle"
+	"repro/internal/sched"
+	"repro/internal/serve"
+)
+
+// ConfigError reports an invalid engine configuration value by field
+// name, raised when the configuration is compiled (New) or when a run
+// method validates its per-call inputs — before any simulation state is
+// built, never from deep inside a run.
+type ConfigError struct {
+	// Field names the offending option or argument: "Model", "Profile",
+	// "Scheduler", "KVSparsity", "KVBits", "MaxBatch", "SLOTTFT",
+	// "SLOTPOT", "Observer", "Batch", "Input", "Output", "Trace",
+	// "Policy", or "Steps".
+	Field  string
+	Value  any
+	Reason string
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("alisa: invalid %s (%v): %s", e.Field, e.Value, e.Reason)
+}
+
+// evalLayerSample is the layer count of the compiled accuracy-evaluation
+// process: the synthetic attention process is layer-exchangeable, so a
+// small sample of layers measures the same statistics as the full stack
+// at a fraction of the cost.
+const evalLayerSample = 4
+
+// Engine is a compiled simulation configuration: New resolves and
+// validates the model, hardware profile, scheduler, sparsity,
+// quantization, and serving parameters exactly once, and every subsequent
+// Simulate / Serve / EvaluatePolicy call runs against that compiled state
+// with no per-call lookups or re-validation. Sweeps that probe many
+// workload points against one configuration therefore pay setup once.
+//
+// An Engine is immutable after New and safe for concurrent use by
+// multiple goroutines, except that an attached Observer receives events
+// from all concurrent runs and must synchronise internally.
+type Engine struct {
+	// option state (raw, as supplied)
+	profileName string
+	schedName   string
+	kvSparsity  float64
+	kvBits      int
+	maxBatch    int
+	sloTTFT     float64
+	sloTPOT     float64
+	observer    Observer
+	seed        int64
+
+	// compiled state
+	model    model.Config
+	profile  memsim.Profile
+	newSched sched.Factory
+	spec     oracle.Spec
+}
+
+// Option configures an Engine at construction; see the With* functions.
+type Option func(*Engine) error
+
+// WithProfile selects the simulated hardware by registered profile name
+// (built-ins: V100-16GB, V100-32GB, H100-80GB). The default is the
+// paper's pairing for the model scale.
+func WithProfile(name string) Option {
+	return func(e *Engine) error {
+		if name == "" {
+			return &ConfigError{Field: "Profile", Value: name, Reason: "profile name must be non-empty"}
+		}
+		e.profileName = name
+		return nil
+	}
+}
+
+// WithScheduler selects the KV placement policy by registered scheduler
+// name (built-ins: alisa, flexgen, vllm, deepspeed-zero, hf-accelerate,
+// gpu-only, no-cache, plus anything added through the scheduler
+// registry). The default is "alisa".
+func WithScheduler(name string) Option {
+	return func(e *Engine) error {
+		if name == "" {
+			return &ConfigError{Field: "Scheduler", Value: name, Reason: "scheduler name must be non-empty"}
+		}
+		e.schedName = name
+		return nil
+	}
+}
+
+// WithKVSparsity sets SWA's skipped-token fraction, in [0, 1); 0 (the
+// default) is dense attention. The paper's headline setting is 0.8.
+func WithKVSparsity(s float64) Option {
+	return func(e *Engine) error {
+		if s < 0 || s >= 1 {
+			return &ConfigError{Field: "KVSparsity", Value: s, Reason: "must be in [0,1)"}
+		}
+		e.kvSparsity = s
+		return nil
+	}
+}
+
+// WithKVBits sets the stored KV precision: 16 (FP16, the default) or 8
+// (the paper's INT8 compression).
+func WithKVBits(bits int) Option {
+	return func(e *Engine) error {
+		if bits != 8 && bits != 16 {
+			return &ConfigError{Field: "KVBits", Value: bits, Reason: "must be 8 or 16"}
+		}
+		e.kvBits = bits
+		return nil
+	}
+}
+
+// WithMaxBatch caps concurrent decode sequences in Serve (default 16).
+func WithMaxBatch(n int) Option {
+	return func(e *Engine) error {
+		if n <= 0 {
+			return &ConfigError{Field: "MaxBatch", Value: n, Reason: "must be positive"}
+		}
+		e.maxBatch = n
+		return nil
+	}
+}
+
+// WithSLO sets the goodput service-level objectives for Serve: the
+// time-to-first-token and time-per-output-token bounds, both in seconds
+// (defaults 10 and 0.5).
+func WithSLO(ttft, tpot float64) Option {
+	return func(e *Engine) error {
+		if ttft <= 0 {
+			return &ConfigError{Field: "SLOTTFT", Value: ttft, Reason: "must be positive seconds"}
+		}
+		if tpot <= 0 {
+			return &ConfigError{Field: "SLOTPOT", Value: tpot, Reason: "must be positive seconds"}
+		}
+		e.sloTTFT, e.sloTPOT = ttft, tpot
+		return nil
+	}
+}
+
+// WithObserver attaches a streaming Observer: Simulate sends step events,
+// Serve sends step, admission, preemption, and completion events.
+// Callbacks run inline on the simulation loop.
+func WithObserver(o Observer) Option {
+	return func(e *Engine) error {
+		if o == nil {
+			return &ConfigError{Field: "Observer", Value: nil, Reason: "observer must be non-nil"}
+		}
+		e.observer = o
+		return nil
+	}
+}
+
+// WithSeed sets the seed of the calibrated attention process
+// EvaluatePolicy runs against (default 1). Simulate and Serve are fully
+// deterministic and take no randomness from the seed.
+func WithSeed(seed int64) Option {
+	return func(e *Engine) error {
+		e.seed = seed
+		return nil
+	}
+}
+
+// New compiles an engine for the named catalog model (see Models, plus
+// any model added through the model registry), applying the options in
+// order. All name resolution and validation happens here, exactly once;
+// errors are *ConfigError values naming the offending field.
+func New(modelName string, opts ...Option) (*Engine, error) {
+	e := &Engine{
+		schedName: "alisa",
+		kvBits:    16,
+		maxBatch:  16,
+		sloTTFT:   10,
+		sloTPOT:   0.5,
+		seed:      1,
+	}
+	mc, err := model.ByName(modelName)
+	if err != nil {
+		return nil, &ConfigError{Field: "Model", Value: modelName, Reason: err.Error()}
+	}
+	e.model = mc
+
+	for _, opt := range opts {
+		if opt == nil {
+			return nil, &ConfigError{Field: "Option", Value: nil, Reason: "nil Option"}
+		}
+		if err := opt(e); err != nil {
+			return nil, err
+		}
+	}
+
+	if e.profileName == "" {
+		e.profile = experiments.PaperProfile(mc)
+	} else {
+		prof, err := memsim.ProfileByName(e.profileName)
+		if err != nil {
+			return nil, &ConfigError{Field: "Profile", Value: e.profileName, Reason: err.Error()}
+		}
+		e.profile = prof
+	}
+
+	factory, err := sched.FactoryByName(e.schedName)
+	if err != nil {
+		return nil, &ConfigError{Field: "Scheduler", Value: e.schedName, Reason: err.Error()}
+	}
+	e.newSched = factory
+
+	e.spec = oracle.SpecForModel(mc, e.seed)
+	e.spec.Layers = evalLayerSample
+	return e, nil
+}
+
+// Model returns the compiled model's canonical catalog name.
+func (e *Engine) Model() string { return e.model.Name }
+
+// Profile returns the compiled hardware profile's name.
+func (e *Engine) Profile() string { return e.profile.Name }
+
+// Scheduler returns the compiled scheduler's registered name.
+func (e *Engine) Scheduler() string { return e.schedName }
+
+// Shape is one simulated workload point for Simulate: Batch sequences,
+// each prefilling Input prompt tokens and generating Output tokens.
+type Shape struct {
+	Batch  int
+	Input  int
+	Output int
+}
+
+// validate reports the first invalid shape field.
+func (s Shape) validate() error {
+	switch {
+	case s.Batch <= 0:
+		return &ConfigError{Field: "Batch", Value: s.Batch, Reason: "must be positive"}
+	case s.Input <= 0:
+		return &ConfigError{Field: "Input", Value: s.Input, Reason: "must be positive"}
+	case s.Output <= 0:
+		return &ConfigError{Field: "Output", Value: s.Output, Reason: "must be positive"}
+	}
+	return nil
+}
+
+// Simulate runs one end-to-end lockstep inference simulation of the given
+// workload shape against the compiled configuration — the unit of the
+// paper's system evaluation. Out-of-memory failures return a Result with
+// OOM set alongside the error, because OOM is itself a reported
+// datapoint. Cancelling ctx mid-run returns the partial Result measured
+// so far alongside ctx.Err().
+func (e *Engine) Simulate(ctx context.Context, shape Shape) (*Result, error) {
+	if err := shape.validate(); err != nil {
+		return nil, err
+	}
+	return core.Run(ctx, core.Config{
+		Model: e.model, Profile: e.profile, Scheduler: e.newSched(),
+		Batch: shape.Batch, Input: shape.Input, Output: shape.Output,
+		KVSparsity: e.kvSparsity, KVBits: e.kvBits,
+		Observer: e.observer,
+	})
+}
+
+// Serve runs a continuous-batching serving simulation of the trace
+// against the compiled configuration: requests arrive on the trace
+// timeline, a dynamic decode batch forms under admission control, and the
+// compiled scheduler places each request's KV. Cancelling ctx mid-run
+// releases all in-flight KV (the end-of-run leak check still applies) and
+// returns the partial Result — metrics over the requests that completed —
+// alongside ctx.Err().
+func (e *Engine) Serve(ctx context.Context, trace TraceWorkload) (*ServeResult, error) {
+	if len(trace) == 0 {
+		return nil, &ConfigError{Field: "Trace", Value: trace, Reason: "trace must be non-empty"}
+	}
+	return serve.Run(ctx, serve.Config{
+		Model: e.model, Profile: e.profile,
+		Scheduler: e.schedName, Factory: e.newSched,
+		Trace:      trace,
+		KVSparsity: e.kvSparsity, KVBits: e.kvBits,
+		MaxBatch: e.maxBatch, SLOTTFT: e.sloTTFT, SLOTPOT: e.sloTPOT,
+		Observer: e.observer,
+	})
+}
+
+// EvaluatePolicy runs the named sparse-attention policy (see the
+// attention registry; built-ins: dense, local, strided, swa, h2o) at the
+// compiled KV sparsity against the compiled model-calibrated attention
+// process for `steps` decode steps — the unit of the paper's accuracy
+// evaluation. Cancelling ctx aborts with ctx.Err(); an accuracy
+// evaluation has no meaningful partial result.
+func (e *Engine) EvaluatePolicy(ctx context.Context, policyName string, steps int) (*PolicyReport, error) {
+	if steps <= 0 {
+		return nil, &ConfigError{Field: "Steps", Value: steps, Reason: "must be positive"}
+	}
+	pol, err := attention.ByName(policyName, 1-e.kvSparsity, e.spec.Layers)
+	if err != nil {
+		return nil, &ConfigError{Field: "Policy", Value: policyName, Reason: err.Error()}
+	}
+	ev, err := oracle.EvaluateContext(ctx, e.spec, pol, steps)
+	if err != nil {
+		return nil, err
+	}
+	rep := &PolicyReport{
+		Policy:     policyName,
+		KVSparsity: e.kvSparsity,
+		MeanRecall: ev.MeanRecall,
+	}
+	if policyName == "dense" {
+		// Dense attention is the reference distribution itself: its score
+		// ranking compared against dense is the identity permutation, so
+		// ρ ≡ 1 by definition and the numerical estimator is skipped (see
+		// the PolicyReport.Spearman field comment).
+		rep.Spearman = 1
+	} else {
+		rho, err := ev.SpearmanVsDense()
+		if err != nil {
+			return nil, err
+		}
+		rep.Spearman = rho
+	}
+	return rep, nil
+}

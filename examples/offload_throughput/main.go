@@ -1,11 +1,13 @@
 // Offload throughput: the paper's Fig. 9 scenario for one model — sweep
 // batch sizes across all five serving systems on the Alpaca workload and
-// print the throughput matrix with OOM markers.
+// print the throughput matrix with OOM markers. Each system's engine is
+// compiled once and reused across the whole batch sweep.
 //
 //	go run ./examples/offload_throughput [model]
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -20,6 +22,7 @@ func main() {
 		modelName = os.Args[1]
 	}
 
+	ctx := context.Background()
 	batches := []int{4, 8, 16, 32, 64}
 	systems := alisa.Schedulers()
 
@@ -30,17 +33,18 @@ func main() {
 	tb := textfmt.NewTable(hdr...)
 
 	for _, system := range systems {
+		opts := []alisa.Option{alisa.WithScheduler(system)}
+		if system == "alisa" {
+			opts = append(opts, alisa.WithKVSparsity(0.8), alisa.WithKVBits(8))
+		}
+		eng, err := alisa.New(modelName, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+
 		row := []string{system}
 		for _, batch := range batches {
-			opts := alisa.Options{
-				Model: modelName, Scheduler: system,
-				Batch: batch, Input: 128, Output: 512,
-				KVSparsity: 0, KVBits: 16,
-			}
-			if system == "alisa" {
-				opts.KVSparsity, opts.KVBits = 0.8, 8
-			}
-			res, err := alisa.Simulate(opts)
+			res, err := eng.Simulate(ctx, alisa.Shape{Batch: batch, Input: 128, Output: 512})
 			switch {
 			case err == nil:
 				row = append(row, fmt.Sprintf("%.1f", res.Throughput))

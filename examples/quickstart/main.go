@@ -1,10 +1,14 @@
 // Quickstart: simulate ALISA against FlexGen on the paper's headline
-// workload and evaluate Sparse Window Attention's accuracy mechanism.
+// workload and evaluate Sparse Window Attention's accuracy mechanism,
+// through the compiled-engine API: each alisa.New call resolves and
+// validates its configuration once, and the run methods execute against
+// that compiled state.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,25 +16,31 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// System side: OPT-13B on its paper-paired V100-32G, batch 64,
 	// Alpaca-shaped workload (s=128, n=512).
-	base := alisa.Options{
-		Model: "opt-13b",
-		Batch: 64, Input: 128, Output: 512,
-	}
+	shape := alisa.Shape{Batch: 64, Input: 128, Output: 512}
 
-	fg := base
-	fg.Scheduler = "flexgen"
-	fg.KVSparsity, fg.KVBits = 0, 16
-	flexgen, err := alisa.Simulate(fg)
+	fg, err := alisa.New("opt-13b", alisa.WithScheduler("flexgen"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	flexgen, err := fg.Simulate(ctx, shape)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	al := base
-	al.Scheduler = "alisa"
-	al.KVSparsity, al.KVBits = 0.8, 8 // the paper's headline setting
-	ours, err := alisa.Simulate(al)
+	// The paper's headline setting: 80 % KV sparsity, INT8 KV.
+	al, err := alisa.New("opt-13b",
+		alisa.WithScheduler("alisa"),
+		alisa.WithKVSparsity(0.8),
+		alisa.WithKVBits(8),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ours, err := al.Simulate(ctx, shape)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,9 +53,15 @@ func main() {
 
 	// Algorithm side: how much dense-attention mass each policy retains
 	// at 80 % KV sparsity, and how well it preserves the score ranking.
+	// One engine compiles the calibrated attention process once; every
+	// EvaluatePolicy call runs against it.
+	eval, err := alisa.New("opt-13b", alisa.WithKVSparsity(0.8), alisa.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("== algorithm side (paper Fig. 4) ==")
 	for _, policy := range []string{"local", "strided", "h2o", "swa"} {
-		rep, err := alisa.EvaluatePolicy("opt-13b", policy, 0.8, 256, 42)
+		rep, err := eval.EvaluatePolicy(ctx, policy, 256)
 		if err != nil {
 			log.Fatal(err)
 		}

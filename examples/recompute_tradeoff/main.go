@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -55,7 +56,7 @@ func main() {
 
 	// End-to-end: Phase III on vs off.
 	run := func(s sched.Scheduler) *core.Result {
-		res, err := core.Run(core.Config{
+		res, err := core.Run(context.Background(), core.Config{
 			Model: mc, Profile: prof, Scheduler: s,
 			Batch: batch, Input: 128, Output: 512,
 			KVSparsity: 0.8, KVBits: 16,

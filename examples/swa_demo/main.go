@@ -32,8 +32,12 @@ func main() {
 		denseLogits = dec.DecodeStep(denseState, tok, nil).Logits
 	}
 
-	// SWA pass at 40 % caching ratio (60 % KV sparsity).
-	swa := attention.NewSWA(0.4, cfg.Layers)
+	// SWA pass at 40 % caching ratio (60 % KV sparsity), constructed
+	// through the open policy registry exactly as the engine would.
+	swa, err := attention.ByName("swa", 0.4, cfg.Layers)
+	if err != nil {
+		panic(err)
+	}
 	swaState := dec.NewState()
 	var swaLogits []float32
 	fmt.Println("SWA token selection on layer 0 (x = selected, . = skipped, * = current):")

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -48,7 +49,7 @@ func TestOptimizerPredictionTracksMeasurement(t *testing.T) {
 		}
 		params := sched.Optimize(ctx)
 
-		res, err := Run(Config{
+		res, err := Run(context.Background(), Config{
 			Model: mc, Profile: c.prof, Scheduler: sched.NewAlisa(),
 			Batch: c.batch, Input: 128, Output: 512,
 			KVSparsity: c.spars, KVBits: c.bits,
@@ -71,7 +72,7 @@ func TestOptimizerPredictionTracksMeasurement(t *testing.T) {
 // deterministic (no wall clocks, no unseeded randomness).
 func TestEngineDeterministic(t *testing.T) {
 	run := func() *Result {
-		res, err := Run(Config{
+		res, err := Run(context.Background(), Config{
 			Model:   model.MustByName("opt-6.7b"),
 			Profile: memsim.V100_16G(),
 			Batch:   32, Input: 128, Output: 128,
@@ -97,7 +98,7 @@ func TestEngineDeterministic(t *testing.T) {
 // Throughput accounting: tokens always equals batch × output, and
 // throughput × time recovers it.
 func TestThroughputConservation(t *testing.T) {
-	res, err := Run(Config{
+	res, err := Run(context.Background(), Config{
 		Model:   model.MustByName("opt-6.7b"),
 		Profile: memsim.V100_16G(),
 		Batch:   16, Input: 64, Output: 96,

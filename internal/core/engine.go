@@ -14,10 +14,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"repro/internal/costmodel"
+	"repro/internal/events"
 	"repro/internal/memsim"
 	"repro/internal/model"
 	"repro/internal/sched"
@@ -40,6 +42,10 @@ type Config struct {
 	// KVBits is the stored KV precision: 16 (FP16), 8 (INT8, §V-B), or
 	// 4 (the INT4 extension the paper cites as viable for OPT).
 	KVBits int
+
+	// Observer, when non-nil, receives one events.Step per decode step as
+	// the run unfolds. Callbacks run inline on the simulation loop.
+	Observer events.Observer
 }
 
 // Validate reports configuration errors before a run.
@@ -100,7 +106,11 @@ type Result struct {
 // Run simulates the configured inference and returns its measurements.
 // Out-of-memory failures return a Result with OOM set alongside the error,
 // because OOM is itself a reported datapoint in Fig. 1 and Fig. 9.
-func Run(cfg Config) (*Result, error) {
+//
+// Cancellation is checked before every decode step: when ctx is cancelled
+// mid-run, Run stops and returns the partial Result measured so far
+// alongside ctx.Err().
+func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -117,11 +127,11 @@ func Run(cfg Config) (*Result, error) {
 	// system to measure headroom.
 	if wp, ok := cfg.Scheduler.(sched.WavePlanner); ok {
 		scratch := memsim.NewSystem(cfg.Profile)
-		ctx := newContext(cfg, scratch, cfg.Batch, trace.NewBreakdown())
-		if err := reserveStatic(cfg, ctx); err != nil {
+		sctx := newContext(cfg, scratch, cfg.Batch, trace.NewBreakdown())
+		if err := reserveStatic(cfg, sctx); err != nil {
 			return failed(res, err)
 		}
-		w, err := wp.Waves(ctx)
+		w, err := wp.Waves(sctx)
 		if err != nil {
 			return failed(res, err)
 		}
@@ -130,7 +140,7 @@ func Run(cfg Config) (*Result, error) {
 	res.Waves = waves
 
 	for _, wave := range waves {
-		if err := runWave(cfg, wave, res); err != nil {
+		if err := runWave(ctx, cfg, wave, res); err != nil {
 			return failed(res, err)
 		}
 	}
@@ -190,36 +200,47 @@ func reserveStatic(cfg Config, ctx *sched.Context) error {
 	return nil
 }
 
-func runWave(cfg Config, wave int, res *Result) error {
+func runWave(ctx context.Context, cfg Config, wave int, res *Result) error {
 	sys := memsim.NewSystem(cfg.Profile)
-	ctx := newContext(cfg, sys, wave, res.Breakdown)
+	sctx := newContext(cfg, sys, wave, res.Breakdown)
+	base := res.TotalSeconds // absolute clock offset of this wave
 
-	if err := reserveStatic(cfg, ctx); err != nil {
+	if err := reserveStatic(cfg, sctx); err != nil {
 		res.TotalSeconds += sys.Clock()
 		return err
 	}
 
 	// Prefill: one pass over the prompt, then the scheduler places its KV.
-	prefill := ctx.Cost.PrefillTime(cfg.Model, wave, cfg.Input)
+	prefill := sctx.Cost.PrefillTime(cfg.Model, wave, cfg.Input)
 	sys.Advance(prefill)
 	res.Breakdown.Add(trace.CatPrefill, prefill)
-	if err := cfg.Scheduler.Init(ctx); err != nil {
+	if err := cfg.Scheduler.Init(sctx); err != nil {
 		res.TotalSeconds += sys.Clock()
 		return err
 	}
 
 	for j := 0; j < cfg.Output; j++ {
+		if err := ctx.Err(); err != nil {
+			res.TotalSeconds += sys.Clock()
+			return err
+		}
 		before := sys.Clock()
-		plan, err := cfg.Scheduler.Step(ctx, j)
+		plan, err := cfg.Scheduler.Step(sctx, j)
 		if err != nil {
 			res.TotalSeconds += sys.Clock()
 			return err
 		}
-		chargeCompute(ctx, plan, res.Breakdown)
+		chargeCompute(sctx, plan, res.Breakdown)
 
 		gpu, cpu := sys.Usage()
 		res.Memory.Record(j, gpu, cpu)
 		res.Steps = append(res.Steps, StepSample{Step: j, Seconds: sys.Clock() - before})
+		if cfg.Observer != nil {
+			cfg.Observer.OnStep(events.Step{
+				Step: j, Batch: wave,
+				Clock: base + sys.Clock(), Seconds: sys.Clock() - before,
+			})
+		}
 	}
 
 	if ph, ok := cfg.Scheduler.(interface{ Phase(j int) int }); ok {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -59,7 +60,7 @@ func TestValidate(t *testing.T) {
 }
 
 func TestRunProducesPositiveThroughput(t *testing.T) {
-	res, err := Run(paperWorkload(t, "opt-6.7b", 16, "alisa", 0.8, 8))
+	res, err := Run(context.Background(), paperWorkload(t, "opt-6.7b", 16, "alisa", 0.8, 8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestRunProducesPositiveThroughput(t *testing.T) {
 // paper's 1.4–3× band and over vLLM up to ~1.9×.
 func TestHeadlineThroughputOrdering(t *testing.T) {
 	run := func(schedName string, sparsity float64, bits int) *Result {
-		res, err := Run(paperWorkload(t, "opt-6.7b", 64, schedName, sparsity, bits))
+		res, err := Run(context.Background(), paperWorkload(t, "opt-6.7b", 64, schedName, sparsity, bits))
 		if err != nil {
 			t.Fatalf("%s: %v", schedName, err)
 		}
@@ -115,7 +116,7 @@ func TestHeadlineThroughputOrdering(t *testing.T) {
 }
 
 func TestDeepSpeedOOMsAtLargeBatch(t *testing.T) {
-	res, err := Run(paperWorkload(t, "opt-6.7b", 64, "deepspeed-zero", 0, 16))
+	res, err := Run(context.Background(), paperWorkload(t, "opt-6.7b", 64, "deepspeed-zero", 0, 16))
 	if err == nil {
 		t.Fatal("expected OOM")
 	}
@@ -125,7 +126,7 @@ func TestDeepSpeedOOMsAtLargeBatch(t *testing.T) {
 }
 
 func TestDeepSpeedRunsAtSmallBatch(t *testing.T) {
-	res, err := Run(paperWorkload(t, "opt-6.7b", 4, "deepspeed-zero", 0, 16))
+	res, err := Run(context.Background(), paperWorkload(t, "opt-6.7b", 4, "deepspeed-zero", 0, 16))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,14 +137,14 @@ func TestDeepSpeedRunsAtSmallBatch(t *testing.T) {
 }
 
 func TestVLLMRunsInWaves(t *testing.T) {
-	res, err := Run(paperWorkload(t, "opt-6.7b", 64, "vllm", 0, 16))
+	res, err := Run(context.Background(), paperWorkload(t, "opt-6.7b", 64, "vllm", 0, 16))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res.Waves) < 2 {
 		t.Fatalf("waves = %v, want several at batch 64 on 16 GB", res.Waves)
 	}
-	small, err := Run(paperWorkload(t, "opt-6.7b", 4, "vllm", 0, 16))
+	small, err := Run(context.Background(), paperWorkload(t, "opt-6.7b", 4, "vllm", 0, 16))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestVLLMBestBaselineAtSmallBatch(t *testing.T) {
 	// as it is optimized for online serving with fine-grained memory
 	// management."
 	run := func(name string) float64 {
-		res, err := Run(paperWorkload(t, "opt-6.7b", 4, name, 0, 16))
+		res, err := Run(context.Background(), paperWorkload(t, "opt-6.7b", 4, name, 0, 16))
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -176,11 +177,11 @@ func TestAlisaScalesBetterWithBatch(t *testing.T) {
 	// Fig. 9's second observation: the ALISA/FlexGen speedup grows with
 	// batch size.
 	speedup := func(batch int) float64 {
-		a, err := Run(paperWorkload(t, "opt-6.7b", batch, "alisa", 0.8, 8))
+		a, err := Run(context.Background(), paperWorkload(t, "opt-6.7b", batch, "alisa", 0.8, 8))
 		if err != nil {
 			t.Fatal(err)
 		}
-		f, err := Run(paperWorkload(t, "opt-6.7b", batch, "flexgen", 0, 16))
+		f, err := Run(context.Background(), paperWorkload(t, "opt-6.7b", batch, "flexgen", 0, 16))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -192,7 +193,7 @@ func TestAlisaScalesBetterWithBatch(t *testing.T) {
 }
 
 func TestMemorySeriesRecorded(t *testing.T) {
-	res, err := Run(paperWorkload(t, "opt-6.7b", 32, "alisa", 0.8, 8))
+	res, err := Run(context.Background(), paperWorkload(t, "opt-6.7b", 32, "alisa", 0.8, 8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,13 +217,13 @@ func TestNoCacheQuadraticVsCachedFlat(t *testing.T) {
 	// stays near-flat while memory grows.
 	base := paperWorkload(t, "opt-6.7b", 1, "no-cache", 0, 16)
 	base.Batch, base.Input, base.Output = 1, 32, 128
-	noCache, err := Run(base)
+	noCache, err := Run(context.Background(), base)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cachedCfg := paperWorkload(t, "opt-6.7b", 1, "gpu-only", 0, 16)
 	cachedCfg.Batch, cachedCfg.Input, cachedCfg.Output = 1, 32, 128
-	cached, err := Run(cachedCfg)
+	cached, err := Run(context.Background(), cachedCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +252,7 @@ func TestNoCacheQuadraticVsCachedFlat(t *testing.T) {
 }
 
 func TestAlisaPhaseReporting(t *testing.T) {
-	res, err := Run(paperWorkload(t, "opt-6.7b", 64, "alisa", 0.8, 8))
+	res, err := Run(context.Background(), paperWorkload(t, "opt-6.7b", 64, "alisa", 0.8, 8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,11 +278,11 @@ func TestRecomputationImprovesThroughput(t *testing.T) {
 		}
 		return cfg
 	}
-	with, err := Run(mk(true))
+	with, err := Run(context.Background(), mk(true))
 	if err != nil {
 		t.Fatal(err)
 	}
-	without, err := Run(mk(false))
+	without, err := Run(context.Background(), mk(false))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,11 +297,11 @@ func TestRecomputationImprovesThroughput(t *testing.T) {
 
 func TestINT8CompressionImprovesThroughput(t *testing.T) {
 	// Fig. 12(c): KV compression contributes throughput on top of SWA+DS.
-	fp16, err := Run(paperWorkload(t, "opt-6.7b", 64, "alisa", 0.8, 16))
+	fp16, err := Run(context.Background(), paperWorkload(t, "opt-6.7b", 64, "alisa", 0.8, 16))
 	if err != nil {
 		t.Fatal(err)
 	}
-	int8, err := Run(paperWorkload(t, "opt-6.7b", 64, "alisa", 0.8, 8))
+	int8, err := Run(context.Background(), paperWorkload(t, "opt-6.7b", 64, "alisa", 0.8, 8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,7 +313,7 @@ func TestINT8CompressionImprovesThroughput(t *testing.T) {
 func TestHigherSparsityHigherThroughput(t *testing.T) {
 	// Fig. 12(a): with higher KV sparsity the speedup is more significant.
 	run := func(sp float64) float64 {
-		res, err := Run(paperWorkload(t, "opt-6.7b", 64, "alisa", sp, 8))
+		res, err := Run(context.Background(), paperWorkload(t, "opt-6.7b", 64, "alisa", sp, 8))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -325,7 +326,7 @@ func TestHigherSparsityHigherThroughput(t *testing.T) {
 }
 
 func TestErrorMessagesNameScheduler(t *testing.T) {
-	_, err := Run(paperWorkload(t, "opt-6.7b", 64, "gpu-only", 0, 16))
+	_, err := Run(context.Background(), paperWorkload(t, "opt-6.7b", 64, "gpu-only", 0, 16))
 	if err == nil {
 		t.Fatal("expected OOM")
 	}

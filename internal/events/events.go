@@ -1,0 +1,148 @@
+// Package events defines the streaming observer contract shared by the
+// lockstep engine (internal/core) and the serving simulator
+// (internal/serve). An Observer receives progress events as a run
+// unfolds — decode steps, request admissions, preemptions, and
+// completions — instead of only the final Result, so CLIs can show live
+// progress and harnesses can collect per-cell timing without re-parsing
+// rendered reports.
+//
+// All times are simulated seconds on the run's clock, not wall time.
+// Events are emitted synchronously from the single-goroutine event loops,
+// in deterministic order: an Observer sees exactly the sequence the
+// run's event log records, and a nil observer costs nothing.
+package events
+
+// Step reports one completed decode step (lockstep engine) or one
+// continuous-batching decode iteration (serving simulator).
+type Step struct {
+	// Step is the 0-based decode-step index within the current wave
+	// (lockstep engine) or the 0-based iteration index (serving loop).
+	Step int
+	// Batch is the number of sequences the step advanced.
+	Batch int
+	// Clock is the simulated time at the end of the step.
+	Clock float64
+	// Seconds is the simulated duration of the step itself.
+	Seconds float64
+}
+
+// Admission reports a request joining the decode batch after prefill.
+type Admission struct {
+	Request int // request ID
+	// Clock is the simulated admission-complete time (end of prefill).
+	Clock float64
+	// Wait is the time the request spent queued since its arrival,
+	// re-prefill work after preemption included.
+	Wait          float64
+	Input, Output int
+	// Batch is the decode-batch occupancy after the admission.
+	Batch int
+}
+
+// Preemption reports a sequence losing its KV under memory pressure; the
+// request restarts from its prompt on readmission.
+type Preemption struct {
+	Request int
+	Clock   float64
+	// Generated is how many tokens the sequence had decoded when its KV
+	// was dropped — all of them are regenerated after readmission.
+	Generated int
+}
+
+// Completion reports a request finishing its final decode step.
+type Completion struct {
+	Request int
+	Clock   float64
+	// TTFT and TPOT are the request's final latency metrics: arrival to
+	// first token, and mean seconds per output token after the first.
+	TTFT, TPOT float64
+	// Preemptions is how many times the request was preempted and
+	// restarted before completing.
+	Preemptions int
+}
+
+// Observer receives streaming run events. Implementations must be fast:
+// callbacks run inline on the simulation loop. They need not be
+// goroutine-safe — each run delivers its events from one goroutine — but
+// one Observer attached to several concurrent runs must synchronise
+// internally.
+type Observer interface {
+	OnStep(Step)
+	OnAdmission(Admission)
+	OnPreemption(Preemption)
+	OnCompletion(Completion)
+}
+
+// Funcs adapts a set of optional callbacks to the Observer interface;
+// nil fields ignore their events.
+type Funcs struct {
+	Step       func(Step)
+	Admission  func(Admission)
+	Preemption func(Preemption)
+	Completion func(Completion)
+}
+
+// OnStep implements Observer.
+func (f Funcs) OnStep(e Step) {
+	if f.Step != nil {
+		f.Step(e)
+	}
+}
+
+// OnAdmission implements Observer.
+func (f Funcs) OnAdmission(e Admission) {
+	if f.Admission != nil {
+		f.Admission(e)
+	}
+}
+
+// OnPreemption implements Observer.
+func (f Funcs) OnPreemption(e Preemption) {
+	if f.Preemption != nil {
+		f.Preemption(e)
+	}
+}
+
+// OnCompletion implements Observer.
+func (f Funcs) OnCompletion(e Completion) {
+	if f.Completion != nil {
+		f.Completion(e)
+	}
+}
+
+// Multi fans every event out to each observer in order.
+func Multi(obs ...Observer) Observer {
+	flat := make(multi, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			flat = append(flat, o)
+		}
+	}
+	return flat
+}
+
+type multi []Observer
+
+func (m multi) OnStep(e Step) {
+	for _, o := range m {
+		o.OnStep(e)
+	}
+}
+
+func (m multi) OnAdmission(e Admission) {
+	for _, o := range m {
+		o.OnAdmission(e)
+	}
+}
+
+func (m multi) OnPreemption(e Preemption) {
+	for _, o := range m {
+		o.OnPreemption(e)
+	}
+}
+
+func (m multi) OnCompletion(e Completion) {
+	for _, o := range m {
+		o.OnCompletion(e)
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -40,7 +41,7 @@ func AblationEviction() (*EvictionResult, error) {
 		for _, newestFirst := range []bool{false, true} {
 			s := sched.NewAlisa()
 			s.EvictNewestFirst = newestFirst
-			out, err := core.Run(core.Config{
+			out, err := core.Run(context.Background(), core.Config{
 				Model: mc, Profile: prof, Scheduler: s,
 				Batch: spec.Batch, Input: spec.Input, Output: spec.Output,
 				KVSparsity: sparsity, KVBits: 8,

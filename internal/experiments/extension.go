@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -36,7 +37,7 @@ func ExtensionInt4() (*Int4Result, error) {
 		prof := PaperProfile(mc)
 		spec := workload.Alpaca(64)
 		for _, bits := range []int{16, 8, 4} {
-			out, err := core.Run(core.Config{
+			out, err := core.Run(context.Background(), core.Config{
 				Model: mc, Profile: prof, Scheduler: sched.NewAlisa(),
 				Batch: spec.Batch, Input: spec.Input, Output: spec.Output,
 				KVSparsity: 0.8, KVBits: bits,

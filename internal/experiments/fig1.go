@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -71,7 +72,7 @@ func Fig1() (*Fig1Result, error) {
 				WeightBytes:     cfg.WeightBytes(2),
 				ActivationBytes: cfg.ActivationBytes(wl.Batch, 2),
 			}
-			out, err := core.Run(run)
+			out, err := core.Run(context.Background(), run)
 			if err != nil {
 				if out != nil && out.OOM {
 					row.OOM = true

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -48,7 +49,7 @@ func Fig12a() (*Fig12aResult, error) {
 	res := &Fig12aResult{}
 
 	// FlexGen reference: no phases; reported as one bar.
-	fgRun, err := core.Run(core.Config{
+	fgRun, err := core.Run(context.Background(), core.Config{
 		Model: mc, Profile: prof, Scheduler: sched.NewFlexGen(),
 		Batch: spec.Batch, Input: spec.Input, Output: spec.Output,
 		KVSparsity: 0, KVBits: 16,
@@ -67,7 +68,7 @@ func Fig12a() (*Fig12aResult, error) {
 
 	for _, sparsity := range []float64{0.4, 0.6, 0.8} {
 		// FP16 KV: INT8 compression joins only in the Fig. 12(c) ablation.
-		out, err := core.Run(core.Config{
+		out, err := core.Run(context.Background(), core.Config{
 			Model: mc, Profile: prof, Scheduler: sched.NewAlisa(),
 			Batch: spec.Batch, Input: spec.Input, Output: spec.Output,
 			KVSparsity: sparsity, KVBits: 16,
@@ -152,13 +153,13 @@ func Fig12b() (*Fig12bResult, error) {
 		}
 		withCfg := base
 		withCfg.Scheduler = sched.NewAlisa()
-		with, err := core.Run(withCfg)
+		with, err := core.Run(context.Background(), withCfg)
 		if err != nil {
 			return nil, fmt.Errorf("fig12b with: %w", err)
 		}
 		withoutCfg := base
 		withoutCfg.Scheduler = sched.NewAlisaManual(0, spec.Output, false)
-		without, err := core.Run(withoutCfg)
+		without, err := core.Run(context.Background(), withoutCfg)
 		if err != nil {
 			return nil, fmt.Errorf("fig12b without: %w", err)
 		}
@@ -217,7 +218,7 @@ func Fig12c() (*Fig12cResult, error) {
 			{"+int8", sched.NewAlisa(), sparsity, 8},
 		}
 		for _, v := range variants {
-			out, err := core.Run(core.Config{
+			out, err := core.Run(context.Background(), core.Config{
 				Model: mc, Profile: prof, Scheduler: v.scheduler,
 				Batch: spec.Batch, Input: spec.Input, Output: spec.Output,
 				KVSparsity: v.sparsity, KVBits: v.bits,

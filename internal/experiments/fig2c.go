@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -40,13 +41,13 @@ func Fig2c() (*Fig2cResult, error) {
 
 	cached := base
 	cached.Scheduler = sched.NewGPUOnly()
-	cachedRes, err := core.Run(cached)
+	cachedRes, err := core.Run(context.Background(), cached)
 	if err != nil {
 		return nil, fmt.Errorf("fig2c cached: %w", err)
 	}
 	uncached := base
 	uncached.Scheduler = sched.NewNoCache()
-	uncachedRes, err := core.Run(uncached)
+	uncachedRes, err := core.Run(context.Background(), uncached)
 	if err != nil {
 		return nil, fmt.Errorf("fig2c uncached: %w", err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -90,7 +91,7 @@ func Fig9(cfg Fig9Config) (*Fig9Result, error) {
 					runCfg.KVBits = cfg.KVBits
 				}
 				cell := Fig9Cell{Model: modelName, Batch: batch, System: system}
-				out, err := core.Run(runCfg)
+				out, err := core.Run(context.Background(), runCfg)
 				switch {
 				case err == nil:
 					cell.Throughput = out.Throughput

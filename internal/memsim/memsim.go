@@ -13,6 +13,9 @@ package memsim
 
 import (
 	"fmt"
+	"sort"
+	"strings"
+	"sync"
 )
 
 // GiB is 2³⁰ bytes.
@@ -85,17 +88,77 @@ func H100_80G() Profile {
 	}
 }
 
-// ProfileByName looks up a built-in profile.
-func ProfileByName(name string) (Profile, error) {
-	switch name {
-	case "V100-16GB", "v100-16gb":
-		return V100_16G(), nil
-	case "V100-32GB", "v100-32gb":
-		return V100_32G(), nil
-	case "H100-80GB", "h100-80gb":
-		return H100_80G(), nil
+// profiles maps lower-cased names to hardware profiles. Built-ins are
+// installed at package init; user code extends the set through
+// RegisterProfile.
+var profiles = struct {
+	sync.RWMutex
+	m map[string]Profile
+}{m: make(map[string]Profile)}
+
+// builtinProfiles guards the paper's testbeds against replacement so the
+// pinned experiment results stay trustworthy.
+var builtinProfiles = map[string]bool{}
+
+func init() {
+	for _, p := range []Profile{V100_16G(), V100_32G(), H100_80G()} {
+		key := strings.ToLower(p.Name)
+		profiles.m[key] = p
+		builtinProfiles[key] = true
 	}
-	return Profile{}, fmt.Errorf("memsim: unknown profile %q", name)
+}
+
+// RegisterProfile adds a hardware profile to the lookup set, keyed by its
+// (case-insensitive) Name — the extension point for testbeds beyond the
+// paper's V100/H100 pairings. Built-in profile names cannot be replaced;
+// re-registering an extension name replaces it. Safe for concurrent use
+// with itself and with ProfileByName.
+func RegisterProfile(p Profile) error {
+	key := strings.ToLower(p.Name)
+	switch {
+	case key == "":
+		return fmt.Errorf("memsim: RegisterProfile with empty Name")
+	case p.GPUMemBytes <= 0 || p.CPUMemBytes <= 0:
+		return fmt.Errorf("memsim: RegisterProfile %q: memory capacities must be positive", p.Name)
+	case p.HBMBandwidth <= 0 || p.PCIeBandwidth <= 0 || p.CPUBandwidth <= 0:
+		return fmt.Errorf("memsim: RegisterProfile %q: bandwidths must be positive", p.Name)
+	case p.PeakFLOPS <= 0 || p.GEMMUtil <= 0 || p.GEMMUtil > 1:
+		return fmt.Errorf("memsim: RegisterProfile %q: need PeakFLOPS > 0 and GEMMUtil in (0,1]", p.Name)
+	case p.ReserveBytes < 0 || p.ReserveBytes >= p.GPUMemBytes:
+		return fmt.Errorf("memsim: RegisterProfile %q: ReserveBytes must be in [0, GPUMemBytes)", p.Name)
+	}
+	if builtinProfiles[key] {
+		return fmt.Errorf("memsim: RegisterProfile %q: cannot replace a built-in profile", p.Name)
+	}
+	profiles.Lock()
+	profiles.m[key] = p
+	profiles.Unlock()
+	return nil
+}
+
+// ProfileByName looks up a profile (case-insensitive): the paper's
+// built-in testbeds or any profile added through RegisterProfile. Safe
+// for concurrent use.
+func ProfileByName(name string) (Profile, error) {
+	profiles.RLock()
+	p, ok := profiles.m[strings.ToLower(name)]
+	profiles.RUnlock()
+	if !ok {
+		return Profile{}, fmt.Errorf("memsim: unknown profile %q (registered: %v)", name, ProfileNames())
+	}
+	return p, nil
+}
+
+// ProfileNames returns every registered profile name in sorted order.
+func ProfileNames() []string {
+	profiles.RLock()
+	names := make([]string, 0, len(profiles.m))
+	for n := range profiles.m {
+		names = append(names, n)
+	}
+	profiles.RUnlock()
+	sort.Strings(names)
+	return names
 }
 
 // OOMError reports a GPU or CPU memory exhaustion — the paper's "OOM"

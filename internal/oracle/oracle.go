@@ -21,6 +21,7 @@
 package oracle
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -341,6 +342,18 @@ func Evaluate(spec Spec, pol attention.Policy, steps int) *Result {
 	return EvaluateMany(spec, []attention.Policy{pol}, steps)[0]
 }
 
+// EvaluateContext is Evaluate with cancellation: every layer checks ctx
+// once per decode step and the evaluation aborts with ctx.Err() when
+// cancelled. An accuracy evaluation has no meaningful partial result, so
+// a cancelled evaluation returns a nil Result.
+func EvaluateContext(ctx context.Context, spec Spec, pol attention.Policy, steps int) (*Result, error) {
+	res, err := EvaluateManyContext(ctx, spec, []attention.Policy{pol}, steps)
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
 // EvaluateMany evaluates several policies against the *same* attention
 // process, amortising row generation and the dense-row measurements
 // (which do not depend on the policy) across all of them. Each policy
@@ -349,6 +362,15 @@ func Evaluate(spec Spec, pol attention.Policy, steps int) *Result {
 // the sweep experiments lean on this to avoid regenerating one process per
 // (policy, sparsity) cell. Policies must be distinct instances.
 func EvaluateMany(spec Spec, pols []attention.Policy, steps int) []*Result {
+	// context.Background never cancels, so the error branch is unreachable.
+	res, _ := EvaluateManyContext(context.Background(), spec, pols, steps)
+	return res
+}
+
+// EvaluateManyContext is EvaluateMany with cancellation: every layer
+// goroutine checks ctx once per decode step and the whole evaluation
+// aborts with ctx.Err() when cancelled, returning nil Results.
+func EvaluateManyContext(ctx context.Context, spec Spec, pols []attention.Policy, steps int) ([]*Result, error) {
 	proc := New(spec)
 	per := make([][]*layerAccum, spec.Layers) // [layer][policy]
 	panics := make([]any, spec.Layers)
@@ -362,7 +384,7 @@ func EvaluateMany(spec Spec, pols []attention.Policy, steps int) []*Result {
 					panics[l] = r
 				}
 			}()
-			per[l] = evalLayerFast(&proc.Spec, proc.layer[l], pols, l, steps)
+			per[l] = evalLayerFast(ctx, &proc.Spec, proc.layer[l], pols, l, steps)
 		}(l)
 	}
 	wg.Wait()
@@ -370,6 +392,9 @@ func EvaluateMany(spec Spec, pols []attention.Policy, steps int) []*Result {
 		if r != nil {
 			panic(r)
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	results := make([]*Result, len(pols))
 	for pi, pol := range pols {
@@ -379,7 +404,7 @@ func EvaluateMany(spec Spec, pols []attention.Policy, steps int) []*Result {
 		}
 		results[pi] = mergeLayers(pol.Name(), steps, perLayer)
 	}
-	return results
+	return results, nil
 }
 
 // EvaluateSequential is the retained reference implementation of Evaluate:
@@ -403,7 +428,7 @@ func EvaluateSequential(spec Spec, pol attention.Policy, steps int) *Result {
 // sparsity is computed directly from the retained weights instead of
 // materialising the full-length row, and the policy-independent dense-row
 // measurements are computed once per step and shared across all policies.
-func evalLayerFast(spec *Spec, st *layerState, pols []attention.Policy, l, steps int) []*layerAccum {
+func evalLayerFast(ctx context.Context, spec *Spec, st *layerState, pols []attention.Policy, l, steps int) []*layerAccum {
 	accs := make([]*layerAccum, len(pols))
 	for i := range accs {
 		accs[i] = newLayerAccum(steps)
@@ -414,6 +439,11 @@ func evalLayerFast(spec *Spec, st *layerState, pols []attention.Policy, l, steps
 	var idxBuf []int
 	var wBuf []float64
 	for t := 0; t < steps; t++ {
+		if ctx.Err() != nil {
+			// Cancelled mid-evaluation: the partial accumulators are
+			// meaningless, the caller discards everything.
+			return nil
+		}
 		row = st.advance(spec, t, row)
 
 		var total float64

@@ -363,29 +363,3 @@ var (
 	_ Scheduler   = (*HFAccelerate)(nil)
 	_ Releaser    = (*HFAccelerate)(nil)
 )
-
-// ByName constructs a scheduler from its canonical name.
-func ByName(name string) (Scheduler, error) {
-	switch name {
-	case "alisa":
-		return NewAlisa(), nil
-	case "flexgen":
-		return NewFlexGen(), nil
-	case "vllm":
-		return NewVLLM(), nil
-	case "deepspeed-zero", "deepspeed":
-		return NewDeepSpeed(), nil
-	case "hf-accelerate", "accelerate":
-		return NewHFAccelerate(), nil
-	case "gpu-only":
-		return NewGPUOnly(), nil
-	case "no-cache":
-		return NewNoCache(), nil
-	}
-	return nil, fmt.Errorf("sched: unknown scheduler %q", name)
-}
-
-// Names lists the canonical scheduler names in evaluation order.
-func Names() []string {
-	return []string{"deepspeed-zero", "hf-accelerate", "flexgen", "vllm", "alisa"}
-}

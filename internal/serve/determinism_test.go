@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"runtime"
 	"strings"
 	"testing"
@@ -45,7 +46,7 @@ func TestServeReplayDeterminism(t *testing.T) {
 	for _, name := range []string{"alisa", "vllm", "hf-accelerate"} {
 		t.Run(name, func(t *testing.T) {
 			cfg := replayConfig(name)
-			first, err := Run(cfg)
+			first, err := Run(context.Background(), cfg)
 			if err != nil {
 				t.Fatalf("run 1: %v", err)
 			}
@@ -60,7 +61,7 @@ func TestServeReplayDeterminism(t *testing.T) {
 				if procs > 0 {
 					runtime.GOMAXPROCS(procs)
 				}
-				res, err := Run(cfg)
+				res, err := Run(context.Background(), cfg)
 				if err != nil {
 					t.Fatalf("replay at GOMAXPROCS=%d: %v", procs, err)
 				}
@@ -71,7 +72,7 @@ func TestServeReplayDeterminism(t *testing.T) {
 			}
 
 			// Metric-level pinning: identical floats, not just close ones.
-			res, err := Run(cfg)
+			res, err := Run(context.Background(), cfg)
 			if err != nil {
 				t.Fatalf("run 3: %v", err)
 			}
@@ -88,7 +89,7 @@ func TestServeReplayDeterminism(t *testing.T) {
 // admit and one finish per request (plus preemption re-admissions), all
 // timestamped in nondecreasing order.
 func TestServeEventLogShape(t *testing.T) {
-	res, err := Run(replayConfig("alisa"))
+	res, err := Run(context.Background(), replayConfig("alisa"))
 	if err != nil {
 		t.Fatal(err)
 	}

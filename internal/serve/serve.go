@@ -30,10 +30,13 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 
 	"repro/internal/costmodel"
+	"repro/internal/events"
 	"repro/internal/memsim"
 	"repro/internal/metrics"
 	"repro/internal/model"
@@ -52,6 +55,12 @@ type Config struct {
 	// streaming is an engine-wide property, not a per-request one.
 	Scheduler string
 
+	// Factory, when non-nil, constructs the per-admission scheduler
+	// instances instead of resolving Scheduler through the registry on
+	// every admission — compiled engines resolve the name exactly once.
+	// Scheduler stays the reported name.
+	Factory sched.Factory
+
 	Trace workload.Trace
 
 	// KVSparsity and KVBits configure SWA and KV compression exactly as in
@@ -69,6 +78,11 @@ type Config struct {
 	// (0 → 10 s and 0.5 s).
 	SLOTTFT float64
 	SLOTPOT float64
+
+	// Observer, when non-nil, receives streaming admission, preemption,
+	// completion, and per-iteration step events, mirroring the event log.
+	// Callbacks run inline on the event loop.
+	Observer events.Observer
 }
 
 // withDefaults returns the config with zero fields defaulted.
@@ -102,8 +116,10 @@ func (c Config) Validate() error {
 	case c.MaxBatch < 0:
 		return fmt.Errorf("serve: negative batch cap %d", c.MaxBatch)
 	}
-	if _, err := sched.ByName(c.Scheduler); err != nil {
-		return err
+	if c.Factory == nil {
+		if _, err := sched.FactoryByName(c.Scheduler); err != nil {
+			return err
+		}
 	}
 	return c.Trace.Validate(c.Model.MaxSeq)
 }
@@ -195,9 +211,10 @@ type seqState struct {
 
 // server is the event-loop state of one run.
 type server struct {
-	cfg  Config
-	sys  *memsim.System
-	cost costmodel.Cost
+	cfg      Config
+	sys      *memsim.System
+	cost     costmodel.Cost
+	newSched sched.Factory // per-admission scheduler constructor
 
 	pending []workload.Request // arrival-ordered wait queue
 	active  []*seqState
@@ -225,16 +242,30 @@ type server struct {
 }
 
 // Run simulates the configured serving workload to completion.
-func Run(cfg Config) (*Result, error) {
+//
+// Cancellation is checked once per event-loop turn: when ctx is cancelled
+// mid-run, every active sequence's KV is released (the end-of-run leak
+// check still applies), the metrics are finalised over the requests that
+// completed, and the partial Result is returned alongside ctx.Err().
+func Run(ctx context.Context, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	factory := cfg.Factory
+	if factory == nil {
+		var err error
+		factory, err = sched.FactoryByName(cfg.Scheduler)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	s := &server{
 		cfg:                      cfg,
 		sys:                      memsim.NewSystem(cfg.Profile),
 		cost:                     costmodel.New(cfg.Profile),
+		newSched:                 factory,
 		pending:                  append(workload.Trace(nil), cfg.Trace...),
 		records:                  make(map[int]*RequestRecord, len(cfg.Trace)),
 		admissionBlockedHeadroom: -1,
@@ -250,7 +281,11 @@ func Run(cfg Config) (*Result, error) {
 	if err := s.reserveStatic(); err != nil {
 		return nil, err
 	}
-	if err := s.loop(); err != nil {
+	if err := s.loop(ctx); err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.finalize()
+			return s.res, err
+		}
 		return nil, err
 	}
 	s.finalize()
@@ -273,8 +308,13 @@ func (s *server) reserveStatic() error {
 }
 
 // loop is the discrete-event engine: admit, decode, complete, repeat.
-func (s *server) loop() error {
+// Cancellation is checked once per turn; a cancelled run releases every
+// active sequence before returning so the leak check below still holds.
+func (s *server) loop(ctx context.Context) error {
 	for len(s.pending) > 0 || len(s.active) > 0 {
+		if err := ctx.Err(); err != nil {
+			return s.cancel(err)
+		}
 		// Idle with work only in the future: jump to the next arrival.
 		if len(s.active) == 0 && s.pending[0].Arrival > s.sys.Clock() {
 			s.sys.Advance(s.pending[0].Arrival - s.sys.Clock())
@@ -293,6 +333,27 @@ func (s *server) loop() error {
 			return err
 		}
 	}
+	return s.checkLeak()
+}
+
+// cancel tears a cancelled run down: every active sequence's KV is
+// released exactly, then the accounting is leak-checked as at a normal
+// end of run. It returns cause unless the accounting leaked.
+func (s *server) cancel(cause error) error {
+	for _, st := range s.active {
+		gpu, cpu := st.rel.Release(st.ctx)
+		s.logf("t=%.9f cancel r=%d gen=%d freedGPU=%d freedCPU=%d",
+			s.sys.Clock(), st.req.ID, st.j, gpu, cpu)
+	}
+	s.active = s.active[:0]
+	if err := s.checkLeak(); err != nil {
+		return err
+	}
+	return cause
+}
+
+// checkLeak verifies usage returned exactly to the static reservations.
+func (s *server) checkLeak() error {
 	if gpu, cpu := s.sys.Usage(); gpu != s.staticGPU || cpu != s.staticCPU {
 		return fmt.Errorf("serve: KV accounting leak: usage gpu=%d cpu=%d, static gpu=%d cpu=%d",
 			gpu, cpu, s.staticGPU, s.staticCPU)
@@ -333,10 +394,7 @@ func (s *server) admit() error {
 // the aborted attempt stays charged, as a real engine's aborted prefill
 // would.
 func (s *server) tryAdmit(req workload.Request) (bool, error) {
-	sch, err := sched.ByName(s.cfg.Scheduler)
-	if err != nil {
-		return false, err
-	}
+	sch := s.newSched()
 	rel, ok := sch.(sched.Releaser)
 	if !ok {
 		return false, fmt.Errorf("serve: scheduler %q has no Release hook", s.cfg.Scheduler)
@@ -374,6 +432,12 @@ func (s *server) tryAdmit(req workload.Request) (bool, error) {
 	s.active = append(s.active, st)
 	s.logf("t=%.9f admit r=%d in=%d out=%d wait=%.9f batch=%d",
 		s.sys.Clock(), req.ID, req.Input, req.Output, rec.Admitted-req.Arrival, len(s.active))
+	if s.cfg.Observer != nil {
+		s.cfg.Observer.OnAdmission(events.Admission{
+			Request: req.ID, Clock: s.sys.Clock(), Wait: rec.Admitted - req.Arrival,
+			Input: req.Input, Output: req.Output, Batch: len(s.active),
+		})
+	}
 	return true, nil
 }
 
@@ -381,6 +445,9 @@ func (s *server) tryAdmit(req workload.Request) (bool, error) {
 // batch: per-sequence placement plans, one fused ragged compute charge,
 // then completions.
 func (s *server) iterate() error {
+	iteration := s.iterations
+	startClock := s.sys.Clock()
+	startBatch := len(s.active)
 	s.iterations++
 	s.batchSum += len(s.active)
 
@@ -463,6 +530,12 @@ func (s *server) iterate() error {
 			s.complete(p.st)
 		}
 	}
+	if s.cfg.Observer != nil {
+		s.cfg.Observer.OnStep(events.Step{
+			Step: iteration, Batch: startBatch,
+			Clock: s.sys.Clock(), Seconds: s.sys.Clock() - startClock,
+		})
+	}
 	return nil
 }
 
@@ -475,6 +548,11 @@ func (s *server) preempt(victim *seqState) {
 	s.preemptions++
 	s.logf("t=%.9f preempt r=%d gen=%d freedGPU=%d freedCPU=%d",
 		s.sys.Clock(), victim.req.ID, victim.j, gpu, cpu)
+	if s.cfg.Observer != nil {
+		s.cfg.Observer.OnPreemption(events.Preemption{
+			Request: victim.req.ID, Clock: s.sys.Clock(), Generated: victim.j,
+		})
+	}
 
 	s.active = s.active[:len(s.active)-1]
 	// Requeue ahead of unadmitted arrivals: the request keeps its FCFS
@@ -496,6 +574,12 @@ func (s *server) complete(st *seqState) {
 	s.admissionBlockedHeadroom = -1
 	s.logf("t=%.9f finish r=%d ttft=%.9f tpot=%.9f freedGPU=%d freedCPU=%d",
 		s.sys.Clock(), st.req.ID, st.rec.TTFT(), st.rec.TPOT(), gpu, cpu)
+	if s.cfg.Observer != nil {
+		s.cfg.Observer.OnCompletion(events.Completion{
+			Request: st.req.ID, Clock: s.sys.Clock(),
+			TTFT: st.rec.TTFT(), TPOT: st.rec.TPOT(), Preemptions: st.rec.Preemptions,
+		})
+	}
 }
 
 // finalize computes the aggregate metrics from the per-request records.
@@ -512,6 +596,11 @@ func (s *server) finalize() {
 	totalTokens, goodTokens, good := 0, 0, 0
 	for _, r := range s.cfg.Trace {
 		rec := s.records[r.ID]
+		if rec.Finished == 0 {
+			// Never completed — only possible on a cancelled run; partial
+			// results summarise the requests that did finish.
+			continue
+		}
 		res.Requests = append(res.Requests, *rec)
 		ttft = append(ttft, rec.TTFT())
 		tpot = append(tpot, rec.TPOT())
@@ -532,8 +621,8 @@ func (s *server) finalize() {
 		res.Throughput = float64(totalTokens) / res.Makespan
 		res.Goodput = float64(goodTokens) / res.Makespan
 	}
-	if len(s.cfg.Trace) > 0 {
-		res.SLOAttainment = float64(good) / float64(len(s.cfg.Trace))
+	if len(res.Requests) > 0 {
+		res.SLOAttainment = float64(good) / float64(len(res.Requests))
 	}
 }
 

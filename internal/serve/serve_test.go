@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -27,7 +28,7 @@ func lightConfig(scheduler string) Config {
 func TestServeCompletesAllSchedulers(t *testing.T) {
 	for _, name := range servable {
 		t.Run(name, func(t *testing.T) {
-			res, err := Run(lightConfig(name))
+			res, err := Run(context.Background(), lightConfig(name))
 			if err != nil {
 				t.Fatalf("Run: %v", err)
 			}
@@ -71,7 +72,7 @@ func TestServeHeterogeneousPoisson(t *testing.T) {
 				cfg.KVSparsity = 0.8
 				cfg.KVBits = 8
 			}
-			res, err := Run(cfg)
+			res, err := Run(context.Background(), cfg)
 			if err != nil {
 				t.Fatalf("Run: %v", err)
 			}
@@ -104,7 +105,7 @@ func TestServeAlisaBeatsHFAccelerateGoodput(t *testing.T) {
 	alisa.Scheduler = "alisa"
 	alisa.KVSparsity = 0.8
 	alisa.KVBits = 8
-	ra, err := Run(alisa)
+	ra, err := Run(context.Background(), alisa)
 	if err != nil {
 		t.Fatalf("alisa: %v", err)
 	}
@@ -112,7 +113,7 @@ func TestServeAlisaBeatsHFAccelerateGoodput(t *testing.T) {
 	hf := base
 	hf.Scheduler = "hf-accelerate"
 	hf.KVBits = 16
-	rh, err := Run(hf)
+	rh, err := Run(context.Background(), hf)
 	if err != nil {
 		t.Fatalf("hf-accelerate: %v", err)
 	}
@@ -140,7 +141,7 @@ func TestServePreemptionRecovers(t *testing.T) {
 		KVBits:   16,
 		MaxBatch: 4,
 	}
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}

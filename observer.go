@@ -1,0 +1,38 @@
+package alisa
+
+import "repro/internal/events"
+
+// Observer receives streaming run events — decode steps, request
+// admissions, preemptions, and completions — as a simulation unfolds,
+// instead of only the final report. Attach one to an Engine with
+// WithObserver; it then sees events from both Simulate (step events) and
+// Serve (all four kinds), delivered synchronously and in deterministic
+// order from the single-goroutine simulation loops. All event times are
+// simulated seconds, not wall time.
+//
+// Implement the interface directly, or use ObserverFuncs to subscribe to
+// a subset of events.
+type Observer = events.Observer
+
+// StepEvent reports one completed decode step (Simulate) or one
+// continuous-batching decode iteration (Serve).
+type StepEvent = events.Step
+
+// AdmissionEvent reports a request joining the decode batch (Serve).
+type AdmissionEvent = events.Admission
+
+// PreemptionEvent reports a sequence losing its KV under memory pressure
+// (Serve).
+type PreemptionEvent = events.Preemption
+
+// CompletionEvent reports a request finishing its final decode step
+// (Serve).
+type CompletionEvent = events.Completion
+
+// ObserverFuncs adapts a set of optional callbacks to Observer; nil
+// fields ignore their events.
+type ObserverFuncs = events.Funcs
+
+// MultiObserver fans every event out to each observer in order; nil
+// entries are skipped.
+func MultiObserver(obs ...Observer) Observer { return events.Multi(obs...) }

@@ -1,0 +1,140 @@
+package alisa
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/attention"
+	"repro/internal/memsim"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// TestRegistryConcurrency hammers concurrent Register/lookup/list on all
+// four open registries; the race detector (CI runs the suite with -race)
+// is the assertion. Registered names are test-scoped and never collide
+// with built-ins, so the shared process state stays inert for other
+// tests.
+func TestRegistryConcurrency(t *testing.T) {
+	const goroutines = 16
+	const iters = 200
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			schedName := fmt.Sprintf("race-sched-%d", g%4)
+			policyName := fmt.Sprintf("race-policy-%d", g%4)
+			modelName := fmt.Sprintf("race-model-%d", g%4)
+			profName := fmt.Sprintf("race-profile-%d", g%4)
+			for i := 0; i < iters; i++ {
+				// sched: register, resolve custom and built-in, list.
+				if err := sched.Register(schedName, func() sched.Scheduler { return sched.NewGPUOnly() }); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := sched.ByName(schedName); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := sched.FactoryByName("alisa"); err != nil {
+					t.Error(err)
+					return
+				}
+				sched.Registered()
+
+				// attention
+				if err := attention.Register(policyName, func(r float64, _ int) (attention.Policy, error) {
+					return attention.NewLocal(r), nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := attention.ByName(policyName, 0.5, 2); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := attention.ByName("swa", 0.5, 2); err != nil {
+					t.Error(err)
+					return
+				}
+				attention.Registered()
+
+				// model
+				if err := model.Register(model.Config{
+					Name: modelName, Family: "race",
+					Layers: 4, Hidden: 64, Heads: 4, FFN: 256, Vocab: 1000, MaxSeq: 512,
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := model.ByName(modelName); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := model.ByName("opt-6.7b"); err != nil {
+					t.Error(err)
+					return
+				}
+				model.Registered()
+
+				// memsim
+				prof := memsim.V100_16G()
+				prof.Name = profName
+				if err := memsim.RegisterProfile(prof); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := memsim.ProfileByName(profName); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := memsim.ProfileByName("V100-32GB"); err != nil {
+					t.Error(err)
+					return
+				}
+				memsim.ProfileNames()
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestRegistryGuards pins the registries' rejection rules: empty names,
+// nil factories, invalid shapes, and built-in replacement.
+func TestRegistryGuards(t *testing.T) {
+	if err := sched.Register("", func() sched.Scheduler { return sched.NewGPUOnly() }); err == nil {
+		t.Error("sched: empty name accepted")
+	}
+	if err := sched.Register("x", nil); err == nil {
+		t.Error("sched: nil factory accepted")
+	}
+	if err := sched.Register("alisa", func() sched.Scheduler { return sched.NewGPUOnly() }); err == nil {
+		t.Error("sched: built-in replacement accepted")
+	}
+	if err := attention.Register("", nil); err == nil {
+		t.Error("attention: empty name accepted")
+	}
+	if err := attention.Register("swa", func(r float64, l int) (attention.Policy, error) {
+		return attention.NewLocal(r), nil
+	}); err == nil {
+		t.Error("attention: built-in replacement accepted")
+	}
+	if err := model.Register(model.Config{Name: "opt-6.7b", Layers: 1, Hidden: 4, Heads: 2, FFN: 4, Vocab: 4, MaxSeq: 4}); err == nil {
+		t.Error("model: built-in replacement accepted")
+	}
+	if err := model.Register(model.Config{Name: "bad-shape", Layers: 0, Hidden: 4, Heads: 2, FFN: 4, Vocab: 4, MaxSeq: 4}); err == nil {
+		t.Error("model: zero layers accepted")
+	}
+	prof := memsim.V100_16G()
+	if err := memsim.RegisterProfile(prof); err == nil {
+		t.Error("memsim: built-in replacement accepted")
+	}
+	prof.Name = "negative-hbm"
+	prof.HBMBandwidth = -1
+	if err := memsim.RegisterProfile(prof); err == nil {
+		t.Error("memsim: negative bandwidth accepted")
+	}
+}

@@ -1,9 +1,8 @@
 package alisa
 
 import (
-	"repro/internal/experiments"
-	"repro/internal/memsim"
-	"repro/internal/model"
+	"context"
+
 	"repro/internal/serve"
 	"repro/internal/workload"
 )
@@ -27,6 +26,10 @@ func UniformTrace(n int, spacing float64, input, output int) TraceWorkload {
 }
 
 // ServeOptions configures one continuous-batching serving simulation.
+//
+// Deprecated: ServeOptions is the one-shot configuration for the Serve
+// shim. New code should compile an Engine once with New and functional
+// options, then call Engine.Serve per trace.
 type ServeOptions struct {
 	// Model is a catalog name (see Models); Profile a hardware name (empty
 	// selects the paper's pairing for the model scale).
@@ -55,29 +58,40 @@ type ServeResult = serve.Result
 // the trace timeline, a dynamic decode batch forms under admission
 // control, and the chosen scheduler places each request's KV — the
 // multi-request, heterogeneous-traffic counterpart of Simulate.
+//
+// Deprecated: Serve compiles a throwaway Engine per call. New code should
+// call New once and Engine.Serve per trace; results for accepted
+// configurations are bit-identical. Zero-valued KVBits, MaxBatch,
+// SLOTTFT, and SLOTPOT select the documented defaults, as they always
+// have. As in Simulate, KVBits is now validated up front to {8, 16}:
+// the INT4 setting is rejected rather than passed through.
 func Serve(opts ServeOptions) (*ServeResult, error) {
-	mc, err := model.ByName(opts.Model)
+	engineOpts := []Option{
+		maybeProfile(opts.Profile),
+		WithScheduler(opts.Scheduler),
+		WithKVSparsity(opts.KVSparsity),
+	}
+	// The legacy zero values meant "default"; the compiled options are
+	// explicit, so translate only non-zero fields.
+	if opts.KVBits != 0 {
+		engineOpts = append(engineOpts, WithKVBits(opts.KVBits))
+	}
+	if opts.MaxBatch != 0 {
+		engineOpts = append(engineOpts, WithMaxBatch(opts.MaxBatch))
+	}
+	if opts.SLOTTFT != 0 || opts.SLOTPOT != 0 {
+		ttft, tpot := opts.SLOTTFT, opts.SLOTPOT
+		if ttft == 0 {
+			ttft = 10
+		}
+		if tpot == 0 {
+			tpot = 0.5
+		}
+		engineOpts = append(engineOpts, WithSLO(ttft, tpot))
+	}
+	e, err := New(opts.Model, engineOpts...)
 	if err != nil {
 		return nil, err
 	}
-	var prof memsim.Profile
-	if opts.Profile == "" {
-		prof = experiments.PaperProfile(mc)
-	} else {
-		prof, err = memsim.ProfileByName(opts.Profile)
-		if err != nil {
-			return nil, err
-		}
-	}
-	return serve.Run(serve.Config{
-		Model:      mc,
-		Profile:    prof,
-		Scheduler:  opts.Scheduler,
-		Trace:      opts.Trace,
-		KVSparsity: opts.KVSparsity,
-		KVBits:     opts.KVBits,
-		MaxBatch:   opts.MaxBatch,
-		SLOTTFT:    opts.SLOTTFT,
-		SLOTPOT:    opts.SLOTPOT,
-	})
+	return e.Serve(context.Background(), opts.Trace)
 }

@@ -16,7 +16,11 @@
 //     memory trajectory — the unit of the paper's system evaluation.
 //   - Engine.Serve runs a continuous-batching serving simulation over an
 //     arrival trace and reports TTFT/TPOT/E2E latency, throughput, and
-//     goodput — the multi-request counterpart of Simulate.
+//     goodput — the multi-request counterpart of Simulate. Engine.ServeMany
+//     runs the cells of a load sweep concurrently on a bounded worker
+//     pool with per-cell results bit-identical to serial Serve calls;
+//     the serving loop itself is allocation-free in steady state, with
+//     the human-readable event log opt-in via WithEventLog.
 //   - Engine.EvaluatePolicy runs a sparse-attention policy against a
 //     calibrated synthetic attention process and reports attention-mass
 //     recall and Spearman correlation — the unit of the paper's accuracy

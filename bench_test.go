@@ -375,6 +375,64 @@ func BenchmarkEngineDecodeStep(b *testing.B) {
 	}
 }
 
+// --- serving sweep benchmarks ---
+
+// sweepBenchEngines compiles the sweep benchmark's engines (event log
+// off) and traces once; the benchmarks reuse them across iterations so
+// only cell execution is timed.
+func sweepBenchEngines(b *testing.B) ([]*Engine, []TraceWorkload) {
+	b.Helper()
+	var engines []*Engine
+	for _, name := range []string{"alisa", "vllm"} {
+		opts := []Option{WithScheduler(name)}
+		if name == "alisa" {
+			opts = append(opts, WithKVSparsity(0.8), WithKVBits(8))
+		}
+		eng, err := New("opt-6.7b", opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		engines = append(engines, eng)
+	}
+	var traces []TraceWorkload
+	for _, rate := range []float64{1, 2, 4, 8} {
+		traces = append(traces, PoissonTrace(16, rate, 1))
+	}
+	return engines, traces
+}
+
+// BenchmarkSweepSerial runs a (scheduler × offered load) sweep one cell
+// at a time — the pre-ServeMany execution model.
+func BenchmarkSweepSerial(b *testing.B) {
+	engines, traces := sweepBenchEngines(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, eng := range engines {
+			for _, tr := range traces {
+				if _, err := eng.Serve(ctx, tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkSweepParallel runs the same sweep through Engine.ServeMany,
+// which executes the rate cells concurrently on GOMAXPROCS workers.
+func BenchmarkSweepParallel(b *testing.B) {
+	engines, traces := sweepBenchEngines(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, eng := range engines {
+			if _, err := eng.ServeMany(ctx, traces); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 func BenchmarkOptimizer(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := core.Config{

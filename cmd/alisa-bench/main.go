@@ -1,6 +1,6 @@
 // Command alisa-bench regenerates the paper's evaluation: every table and
 // figure, or a selected subset — and benches the compiled engine itself
-// over a (model × scheduler × batch) grid.
+// over a (model × scheduler × batch) grid and the serving sweep runner.
 //
 // Usage:
 //
@@ -9,11 +9,14 @@
 //	alisa-bench -all             # the full evaluation
 //	alisa-bench -all -json       # machine-readable timings on stdout
 //	alisa-bench -grid            # engine grid: per-cell wall/sim timing
+//	alisa-bench -grid -grid-parallel 0   # grid pairs run concurrently
+//	alisa-bench -sweep-bench     # serving sweep: serial vs parallel wall
+//	                             # clock + serve.Run allocation counts
 //
 // With -json the rendered reports are suppressed and a single JSON
 // document is written to stdout instead, so the bench trajectory can be
-// tracked PR-over-PR (e.g. `alisa-bench -all -json > BENCH_$(git
-// rev-parse --short HEAD).json`). The format is documented in
+// tracked PR-over-PR (e.g. `alisa-bench -all -sweep-bench -json >
+// BENCH_$(git rev-parse --short HEAD).json`). The format is documented in
 // EXPERIMENTS.md:
 //
 //	{
@@ -21,14 +24,24 @@
 //	  "experiments": [
 //	    {"id": "fig8", "title": "...", "seconds": 2.38, "output_bytes": 123456},
 //	    ...
-//	  ]
+//	  ],
+//	  "serve_sweep": {"serial_seconds": ..., "parallel_seconds": ..., ...}
 //	}
 //
 // With -grid the engine API is exercised directly: one alisa.Engine is
 // compiled per (model, scheduler) pair and reused across every batch-size
 // cell, and a streaming Observer collects per-cell decode-step counts and
 // simulated time alongside the measured wall time — the per-cell timing
-// view of the public API's hot path.
+// view of the public API's hot path. -grid-parallel runs the pairs
+// concurrently (each pair's batch cells stay serial so its observer
+// stays single-goroutine); rows print in deterministic grid order.
+//
+// With -sweep-bench the (scheduler × offered load) serving sweep is run
+// twice — one cell at a time, then concurrently on -sweep-parallel
+// workers — against the same compiled engines with the event log off,
+// verifying the parallel pass reproduces the serial results bit for bit
+// and reporting both wall clocks plus serve.Run allocation counts with
+// the event log off and on.
 package main
 
 import (
@@ -37,11 +50,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
+	"runtime"
+	"strconv"
 	"strings"
+	"testing"
 	"time"
 
 	alisa "repro"
 	"repro/internal/experiments"
+	"repro/internal/grid"
 	"repro/internal/textfmt"
 )
 
@@ -53,10 +71,32 @@ type timing struct {
 	OutputBytes int     `json:"output_bytes"`
 }
 
+// sweepTiming is the -sweep-bench entry in the -json report.
+type sweepTiming struct {
+	Schedulers []string  `json:"schedulers"`
+	Rates      []float64 `json:"rates"`
+	Requests   int       `json:"requests"`
+	Workers    int       `json:"workers"`
+	// SerialSeconds and ParallelSeconds are the wall clocks of running
+	// every (scheduler × rate) cell one at a time vs through the bounded
+	// worker pool; Identical reports whether the parallel pass reproduced
+	// the serial results bit for bit.
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	Speedup         float64 `json:"speedup"`
+	Identical       bool    `json:"parallel_results_identical"`
+	// AllocsPerServeRun / AllocsPerServeRunCaptured are
+	// testing.AllocsPerRun over one pressured serve.Run with the event
+	// log off (sweep mode) and on (determinism-suite mode).
+	AllocsPerServeRun         float64 `json:"allocs_per_serve_run"`
+	AllocsPerServeRunCaptured float64 `json:"allocs_per_serve_run_captured"`
+}
+
 // report is the top-level -json document.
 type report struct {
-	TotalSeconds float64  `json:"total_seconds"`
-	Experiments  []timing `json:"experiments"`
+	TotalSeconds float64      `json:"total_seconds"`
+	Experiments  []timing     `json:"experiments"`
+	ServeSweep   *sweepTiming `json:"serve_sweep,omitempty"`
 }
 
 func main() {
@@ -64,16 +104,22 @@ func main() {
 	run := flag.String("run", "", "run one experiment by id (e.g. fig9)")
 	all := flag.Bool("all", false, "run every experiment in paper order")
 	asJSON := flag.Bool("json", false, "emit machine-readable timings instead of rendered reports")
-	grid := flag.Bool("grid", false, "bench the compiled engine over a model × scheduler × batch grid")
+	gridMode := flag.Bool("grid", false, "bench the compiled engine over a model × scheduler × batch grid")
 	gridModels := flag.String("grid-models", "opt-6.7b,opt-13b", "comma-separated models for -grid")
 	gridScheds := flag.String("grid-sched", "alisa,flexgen,vllm", "comma-separated schedulers for -grid")
 	gridBatches := flag.String("grid-batches", "8,16,32", "comma-separated batch sizes for -grid")
+	gridParallel := flag.Int("grid-parallel", 1, "concurrent (model, scheduler) pairs for -grid (0 = GOMAXPROCS)")
+	sweepBench := flag.Bool("sweep-bench", false, "bench the serving sweep serially vs in parallel")
+	sweepScheds := flag.String("sweep-sched", "alisa,vllm,hf-accelerate,gpu-only", "comma-separated schedulers for -sweep-bench")
+	sweepRates := flag.String("sweep-rates", "1,2,4,8", "comma-separated arrival rates for -sweep-bench")
+	sweepN := flag.Int("sweep-n", 48, "requests per -sweep-bench cell")
+	sweepParallel := flag.Int("sweep-parallel", 0, "workers for the parallel pass (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	var runners []experiments.Runner
 	switch {
-	case *grid:
-		if err := runGrid(*gridModels, *gridScheds, *gridBatches); err != nil {
+	case *gridMode:
+		if err := runGrid(*gridModels, *gridScheds, *gridBatches, *gridParallel); err != nil {
 			fatal(err)
 		}
 		return
@@ -90,6 +136,8 @@ func main() {
 		runners = []experiments.Runner{r}
 	case *all:
 		runners = experiments.All()
+	case *sweepBench:
+		// sweep-bench alone: no experiments, just the sweep section.
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -103,6 +151,13 @@ func main() {
 			fatal(err)
 		}
 		rep.Experiments = append(rep.Experiments, t)
+	}
+	if *sweepBench {
+		st, err := runSweepBench(*sweepScheds, *sweepRates, *sweepN, *sweepParallel, *asJSON)
+		if err != nil {
+			fatal(err)
+		}
+		rep.ServeSweep = st
 	}
 	rep.TotalSeconds = time.Since(start).Seconds()
 	if *asJSON {
@@ -119,10 +174,19 @@ type cellStats struct {
 	steps int
 }
 
+// gridPair is one (model, scheduler) engine of the -grid bench with its
+// rendered rows, buffered so parallel pairs print in deterministic order.
+type gridPair struct {
+	model, sched string
+	rows         [][]string
+	err          error
+}
+
 // runGrid benches the compiled-engine hot path: each (model, scheduler)
-// engine is compiled once, then every batch cell reuses it. The observer
-// counts the decode steps the cell actually simulated.
-func runGrid(models, scheds, batches string) error {
+// engine is compiled once, then every batch cell reuses it serially (the
+// cell observer is single-goroutine state); with workers > 1 the pairs
+// themselves run concurrently through the shared grid executor.
+func runGrid(models, scheds, batches string, workers int) error {
 	var sizes []int
 	for _, b := range strings.Split(batches, ",") {
 		var v int
@@ -132,46 +196,192 @@ func runGrid(models, scheds, batches string) error {
 		sizes = append(sizes, v)
 	}
 
-	ctx := context.Background()
-	tb := textfmt.NewTable("model", "scheduler", "batch", "wall", "sim", "steps", "tok/s")
+	var pairs []*gridPair
 	for _, modelName := range strings.Split(models, ",") {
-		modelName = strings.TrimSpace(modelName)
 		for _, schedName := range strings.Split(scheds, ",") {
-			schedName = strings.TrimSpace(schedName)
-			stats := &cellStats{}
-			opts := []alisa.Option{
-				alisa.WithScheduler(schedName),
-				alisa.WithObserver(alisa.ObserverFuncs{
-					Step: func(e alisa.StepEvent) { stats.steps++ },
-				}),
-			}
-			if schedName == "alisa" {
-				opts = append(opts, alisa.WithKVSparsity(0.8), alisa.WithKVBits(8))
-			}
-			eng, err := alisa.New(modelName, opts...)
+			pairs = append(pairs, &gridPair{
+				model: strings.TrimSpace(modelName),
+				sched: strings.TrimSpace(schedName),
+			})
+		}
+	}
+
+	_ = grid.Run(context.Background(), len(pairs), workers, func(ctx context.Context, i int) {
+		p := pairs[i]
+		stats := &cellStats{}
+		opts := []alisa.Option{
+			alisa.WithScheduler(p.sched),
+			alisa.WithObserver(alisa.ObserverFuncs{
+				Step: func(e alisa.StepEvent) { stats.steps++ },
+			}),
+		}
+		if p.sched == "alisa" {
+			opts = append(opts, alisa.WithKVSparsity(0.8), alisa.WithKVBits(8))
+		}
+		eng, err := alisa.New(p.model, opts...)
+		if err != nil {
+			p.err = err
+			return
+		}
+		for _, batch := range sizes {
+			*stats = cellStats{}
+			start := time.Now()
+			res, err := eng.Simulate(ctx, alisa.Shape{Batch: batch, Input: 128, Output: 256})
+			wall := time.Since(start)
 			if err != nil {
-				return err
+				p.rows = append(p.rows, []string{p.model, p.sched, fmt.Sprint(batch),
+					wall.Round(time.Microsecond).String(), "—", "—", "error: " + err.Error()})
+				continue
 			}
-			for _, batch := range sizes {
-				*stats = cellStats{}
-				start := time.Now()
-				res, err := eng.Simulate(ctx, alisa.Shape{Batch: batch, Input: 128, Output: 256})
-				wall := time.Since(start)
-				if err != nil {
-					tb.AddRow(modelName, schedName, fmt.Sprint(batch),
-						wall.Round(time.Microsecond).String(), "—", "—", "error: "+err.Error())
-					continue
-				}
-				tb.AddRow(modelName, schedName, fmt.Sprint(batch),
-					wall.Round(time.Microsecond).String(),
-					textfmt.Seconds(res.TotalSeconds),
-					fmt.Sprint(stats.steps),
-					fmt.Sprintf("%.1f", res.Throughput))
-			}
+			p.rows = append(p.rows, []string{p.model, p.sched, fmt.Sprint(batch),
+				wall.Round(time.Microsecond).String(),
+				textfmt.Seconds(res.TotalSeconds),
+				fmt.Sprint(stats.steps),
+				fmt.Sprintf("%.1f", res.Throughput)})
+		}
+	})
+
+	tb := textfmt.NewTable("model", "scheduler", "batch", "wall", "sim", "steps", "tok/s")
+	for _, p := range pairs {
+		if p.err != nil {
+			return p.err
+		}
+		for _, row := range p.rows {
+			tb.AddRow(row...)
 		}
 	}
 	fmt.Println(tb.String())
 	return nil
+}
+
+// runSweepBench measures the (scheduler × rate) serving sweep twice —
+// serially and through the bounded worker pool — on identical compiled
+// engines, checks the two passes agree bit for bit, and measures
+// serve.Run allocation counts with the event log off and on.
+func runSweepBench(scheds, rates string, n, workers int, quiet bool) (*sweepTiming, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("-sweep-n must be positive, got %d", n)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	names := strings.Split(scheds, ",")
+	var rateVals []float64
+	for _, f := range strings.Split(rates, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad -sweep-rates entry %q", f)
+		}
+		rateVals = append(rateVals, v)
+	}
+
+	ctx := context.Background()
+	// engineOpts is the one option set per scheduler, shared by the sweep
+	// engines and the allocation-measurement engines below so the
+	// capture-off/on comparison differs only in WithEventLog.
+	engineOpts := func(name string) []alisa.Option {
+		opts := []alisa.Option{alisa.WithScheduler(name)}
+		if name == "alisa" {
+			opts = append(opts, alisa.WithKVSparsity(0.8), alisa.WithKVBits(8))
+		}
+		return opts
+	}
+	var engines []*alisa.Engine
+	for i, name := range names {
+		name = strings.TrimSpace(name)
+		names[i] = name
+		eng, err := alisa.New("opt-6.7b", engineOpts(name)...)
+		if err != nil {
+			return nil, err
+		}
+		engines = append(engines, eng)
+	}
+	traces := make([]alisa.TraceWorkload, len(rateVals))
+	for i, r := range rateVals {
+		traces[i] = alisa.PoissonTrace(n, r, 1)
+	}
+
+	cells := len(engines) * len(traces)
+	runCell := func(ctx context.Context, out []*alisa.ServeResult, c int) error {
+		res, err := engines[c/len(traces)].Serve(ctx, traces[c%len(traces)])
+		out[c] = res
+		return err
+	}
+
+	serial := make([]*alisa.ServeResult, cells)
+	serialStart := time.Now()
+	for c := 0; c < cells; c++ {
+		if err := runCell(ctx, serial, c); err != nil {
+			return nil, fmt.Errorf("serial cell %d: %w", c, err)
+		}
+	}
+	serialSeconds := time.Since(serialStart).Seconds()
+
+	parallel := make([]*alisa.ServeResult, cells)
+	parallelStart := time.Now()
+	errs := make([]error, cells)
+	_ = grid.Run(ctx, cells, workers, func(ctx context.Context, c int) {
+		errs[c] = runCell(ctx, parallel, c)
+	})
+	parallelSeconds := time.Since(parallelStart).Seconds()
+	for c, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("parallel cell %d: %w", c, err)
+		}
+	}
+
+	identical := true
+	for c := range serial {
+		if !reflect.DeepEqual(serial[c], parallel[c]) {
+			identical = false
+			break
+		}
+	}
+
+	// Allocation counts of one pressured cell, sweep mode vs captured.
+	allocEng := engines[0]
+	allocTrace := traces[len(traces)-1]
+	allocsOff := testing.AllocsPerRun(5, func() {
+		if _, err := allocEng.Serve(ctx, allocTrace); err != nil {
+			panic(err)
+		}
+	})
+	capEng, err := alisa.New("opt-6.7b", append(engineOpts(names[0]), alisa.WithEventLog(true))...)
+	if err != nil {
+		return nil, err
+	}
+	allocsOn := testing.AllocsPerRun(5, func() {
+		if _, err := capEng.Serve(ctx, allocTrace); err != nil {
+			panic(err)
+		}
+	})
+
+	st := &sweepTiming{
+		Schedulers:                names,
+		Rates:                     rateVals,
+		Requests:                  n,
+		Workers:                   workers,
+		SerialSeconds:             serialSeconds,
+		ParallelSeconds:           parallelSeconds,
+		Speedup:                   serialSeconds / parallelSeconds,
+		Identical:                 identical,
+		AllocsPerServeRun:         allocsOff,
+		AllocsPerServeRunCaptured: allocsOn,
+	}
+	if !quiet {
+		fmt.Printf("== serve sweep bench — %d schedulers × %d rates, %d requests/cell, %d workers\n\n",
+			len(names), len(rateVals), n, workers)
+		tb := textfmt.NewTable("pass", "wall", "speedup", "bit-identical")
+		tb.AddRow("serial", fmt.Sprintf("%.3fs", serialSeconds), "1.00×", "—")
+		tb.AddRow("parallel", fmt.Sprintf("%.3fs", parallelSeconds),
+			fmt.Sprintf("%.2f×", st.Speedup), fmt.Sprint(identical))
+		fmt.Println(tb.String())
+		fmt.Printf("serve.Run allocs: %.0f (event log off) / %.0f (captured)\n\n", allocsOff, allocsOn)
+	}
+	if !identical {
+		return st, fmt.Errorf("parallel sweep diverged from serial results")
+	}
+	return st, nil
 }
 
 func execute(r experiments.Runner, quiet bool) (timing, error) {

@@ -11,6 +11,9 @@
 //	alisa-serve -sweep 0.5,1,2,4,8               # load sweep: throughput
 //	                                             # and goodput vs offered
 //	                                             # load per scheduler
+//	alisa-serve -sweep 1,2,4,8 -parallel 0       # sweep cells run
+//	                                             # concurrently (0 =
+//	                                             # GOMAXPROCS workers)
 //	alisa-serve -progress                        # live admit/preempt/finish
 //	                                             # events on stderr
 //
@@ -18,8 +21,12 @@
 // (paper headline: 0.8 / INT8), mirroring the lockstep evaluation.
 //
 // Each scheduler's engine is compiled once and reused across every sweep
-// rate, and Ctrl-C cancels the run in flight, reporting metrics over the
-// requests that completed.
+// rate. With -parallel the (scheduler × rate) cells execute concurrently
+// on a bounded worker pool; every cell is the same single-goroutine
+// deterministic simulation, so the tables are identical to a serial run
+// regardless of completion order. Ctrl-C cancels the sweep: in-flight
+// cells report metrics over the requests that completed, unstarted cells
+// are skipped.
 package main
 
 import (
@@ -32,6 +39,7 @@ import (
 	"strings"
 
 	alisa "repro"
+	"repro/internal/grid"
 	"repro/internal/textfmt"
 )
 
@@ -48,11 +56,15 @@ func main() {
 	sloTTFT := flag.Float64("slo-ttft", 10, "TTFT SLO seconds (goodput)")
 	sloTPOT := flag.Float64("slo-tpot", 0.5, "TPOT SLO seconds/token (goodput)")
 	sweep := flag.String("sweep", "", "comma-separated arrival rates for a load sweep")
+	parallel := flag.Int("parallel", 1, "concurrent sweep cells (0 = GOMAXPROCS workers, 1 = serial)")
 	progress := flag.Bool("progress", false, "stream admission/preemption/completion events to stderr")
 	flag.Parse()
 
 	if *n <= 0 {
 		fatal(fmt.Errorf("-n must be positive, got %d", *n))
+	}
+	if *parallel < 0 {
+		fatal(fmt.Errorf("-parallel must be ≥ 0, got %d", *parallel))
 	}
 	names := strings.Split(*scheds, ",")
 	rates := []float64{*rate}
@@ -93,7 +105,10 @@ func main() {
 			opts = append(opts, alisa.WithKVSparsity(*sparsity), alisa.WithKVBits(*bits))
 		}
 		if *progress {
-			opts = append(opts, alisa.WithObserver(progressObserver(name)))
+			// One observer instance serves every cell of this scheduler;
+			// with -parallel those cells run concurrently, so delivery is
+			// serialized.
+			opts = append(opts, alisa.WithObserver(alisa.SynchronizedObserver(progressObserver(name))))
 		}
 		eng, err := alisa.New(*modelName, opts...)
 		if err != nil {
@@ -103,45 +118,76 @@ func main() {
 		engines[name] = eng
 	}
 
-	// Ctrl-C cancels the run in flight; its partial metrics still print.
+	// Ctrl-C cancels the sweep; computed and in-flight cells still print.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	for _, r := range rates {
-		trace := alisa.PoissonTrace(*n, r, *seed)
+	// The sweep grid: cell (ri, si) = rates[ri] × names[si], results in
+	// index-addressed storage so the tables render in deterministic order
+	// no matter which worker finishes a cell first.
+	traces := make([]alisa.TraceWorkload, len(rates))
+	for ri, r := range rates {
+		traces[ri] = alisa.PoissonTrace(*n, r, *seed)
+	}
+	cells := len(rates) * len(names)
+	results := make([]*alisa.ServeResult, cells)
+	errs := make([]error, cells)
+	started := make([]bool, cells)
+	_ = grid.Run(ctx, cells, *parallel, func(cellCtx context.Context, c int) {
+		name := names[c%len(names)]
+		eng := engines[name]
+		if eng == nil {
+			return // compile error renders from compileErr
+		}
+		started[c] = true
+		results[c], errs[c] = eng.Serve(cellCtx, traces[c/len(names)])
+	})
+
+	for ri := range rates {
 		fmt.Printf("## %s, %d requests, Poisson %.2f req/s (offered load seed %d)\n\n",
-			*modelName, *n, r, *seed)
+			*modelName, *n, rates[ri], *seed)
 		tb := textfmt.NewTable("scheduler", "tput tok/s", "goodput", "SLO%", "TTFT p50", "TTFT p99",
 			"TPOT p50", "TPOT p99", "preempt", "batch")
-		for _, name := range names {
-			if err := compileErr[name]; err != nil {
-				tb.AddRow(name, "error: "+err.Error(), "", "", "", "", "", "", "", "")
-				continue
+		for si, name := range names {
+			c := ri*len(names) + si
+			res, err := results[c], errs[c]
+			switch {
+			case compileErr[name] != nil:
+				addErrorRow(tb, name, compileErr[name])
+			case !started[c]:
+				addErrorRow(tb, name, fmt.Errorf("skipped: sweep cancelled"))
+			case err != nil && !(res != nil && ctx.Err() != nil):
+				addErrorRow(tb, name, err)
+			default:
+				label := name
+				if err != nil {
+					// The only error that reaches here is this cell's own
+					// cancellation with partial metrics; cells that finished
+					// before Ctrl-C keep their plain label.
+					label = fmt.Sprintf("%s (cancelled: %d/%d done)", name, len(res.Requests), *n)
+				}
+				tb.AddRow(label,
+					fmt.Sprintf("%.1f", res.Throughput),
+					fmt.Sprintf("%.1f", res.Goodput),
+					fmt.Sprintf("%.0f%%", res.SLOAttainment*100),
+					textfmt.Seconds(res.TTFT.P50), textfmt.Seconds(res.TTFT.P99),
+					textfmt.Seconds(res.TPOT.P50), textfmt.Seconds(res.TPOT.P99),
+					fmt.Sprintf("%d", res.Preemptions),
+					fmt.Sprintf("%.1f", res.MeanBatch))
 			}
-			res, err := engines[name].Serve(ctx, trace)
-			if err != nil && !(res != nil && ctx.Err() != nil) {
-				tb.AddRow(name, "error: "+err.Error(), "", "", "", "", "", "", "", "")
-				continue
-			}
-			label := name
-			if ctx.Err() != nil {
-				label = name + " (cancelled: " + fmt.Sprint(len(res.Requests)) + "/" + fmt.Sprint(*n) + " done)"
-			}
-			tb.AddRow(label,
-				fmt.Sprintf("%.1f", res.Throughput),
-				fmt.Sprintf("%.1f", res.Goodput),
-				fmt.Sprintf("%.0f%%", res.SLOAttainment*100),
-				textfmt.Seconds(res.TTFT.P50), textfmt.Seconds(res.TTFT.P99),
-				textfmt.Seconds(res.TPOT.P50), textfmt.Seconds(res.TPOT.P99),
-				fmt.Sprintf("%d", res.Preemptions),
-				fmt.Sprintf("%.1f", res.MeanBatch))
 		}
 		fmt.Println(tb.String())
-		if ctx.Err() != nil {
-			fmt.Println("(run cancelled; remaining schedulers and rates skipped)")
-			return
-		}
 	}
+	if ctx.Err() != nil {
+		fmt.Println("(sweep cancelled; unstarted cells were skipped)")
+	}
+}
+
+// addErrorRow renders a cell that produced no metrics — compile failure,
+// run error, or a cancelled-before-start cell — through the same column
+// layout as the metric rows.
+func addErrorRow(tb *textfmt.Table, name string, err error) {
+	tb.AddRow(name, "error: "+err.Error(), "", "", "", "", "", "", "", "")
 }
 
 // progressObserver streams serving events live to stderr, prefixed with

@@ -6,7 +6,9 @@ import (
 
 	"repro/internal/attention"
 	"repro/internal/core"
+	"repro/internal/events"
 	"repro/internal/experiments"
+	"repro/internal/grid"
 	"repro/internal/memsim"
 	"repro/internal/model"
 	"repro/internal/oracle"
@@ -48,7 +50,10 @@ const evalLayerSample = 4
 //
 // An Engine is immutable after New and safe for concurrent use by
 // multiple goroutines, except that an attached Observer receives events
-// from all concurrent runs and must synchronise internally.
+// from all concurrent runs and must synchronise internally (wrap it with
+// SynchronizedObserver, or use ServeMany, which applies that wrapping
+// itself). ServeMany runs the cells of a load sweep concurrently with
+// deterministic per-cell results.
 type Engine struct {
 	// option state (raw, as supplied)
 	profileName string
@@ -60,6 +65,7 @@ type Engine struct {
 	sloTPOT     float64
 	observer    Observer
 	seed        int64
+	captureLog  bool
 
 	// compiled state
 	model    model.Config
@@ -145,6 +151,19 @@ func WithSLO(ttft, tpot float64) Option {
 			return &ConfigError{Field: "SLOTPOT", Value: tpot, Reason: "must be positive seconds"}
 		}
 		e.sloTTFT, e.sloTPOT = ttft, tpot
+		return nil
+	}
+}
+
+// WithEventLog toggles capture of Serve's human-readable event log
+// (ServeResult.EventLog). Off — the default — the serving loop's steady
+// state formats no event strings at all, the right mode for sweeps;
+// on, the captured log is byte-identical to what Serve has always
+// produced, which the replay-determinism suite pins. Streaming Observer
+// delivery is independent of this switch.
+func WithEventLog(on bool) Option {
+	return func(e *Engine) error {
+		e.captureLog = on
 		return nil
 	}
 }
@@ -280,14 +299,61 @@ func (e *Engine) Serve(ctx context.Context, trace TraceWorkload) (*ServeResult, 
 	if len(trace) == 0 {
 		return nil, &ConfigError{Field: "Trace", Value: trace, Reason: "trace must be non-empty"}
 	}
-	return serve.Run(ctx, serve.Config{
+	return serve.Run(ctx, e.serveConfig(trace, e.observer))
+}
+
+// serveConfig projects the compiled state onto one serving run.
+func (e *Engine) serveConfig(trace TraceWorkload, obs Observer) serve.Config {
+	return serve.Config{
 		Model: e.model, Profile: e.profile,
 		Scheduler: e.schedName, Factory: e.newSched,
 		Trace:      trace,
 		KVSparsity: e.kvSparsity, KVBits: e.kvBits,
 		MaxBatch: e.maxBatch, SLOTTFT: e.sloTTFT, SLOTPOT: e.sloTPOT,
-		Observer: e.observer,
+		Observer:   obs,
+		CaptureLog: e.captureLog,
+	}
+}
+
+// ServeMany runs one serving simulation per trace — the cells of a load
+// sweep — concurrently on up to GOMAXPROCS workers, all against the
+// compiled configuration. results[i] always corresponds to traces[i]:
+// each cell is the same single-goroutine deterministic simulation Serve
+// runs, so the output is bit-identical to calling Serve once per trace
+// serially, regardless of completion order (pinned by test).
+//
+// An attached Observer receives every cell's events, serialized through
+// one mutex (no internal locking needed); events from different cells
+// interleave in completion order. Cancelling ctx stops unstarted cells
+// (their results stay nil) and winds in-flight cells down through
+// Serve's cancellation path, which still leak-checks and returns partial
+// metrics.
+//
+// The returned error is the first cell error in trace order — later
+// cells still run (a sweep wants every healthy cell even when one
+// operating point is unservable); inspect results[i] for the cells that
+// completed.
+func (e *Engine) ServeMany(ctx context.Context, traces []TraceWorkload) ([]*ServeResult, error) {
+	if len(traces) == 0 {
+		return nil, &ConfigError{Field: "Trace", Value: traces, Reason: "at least one trace required"}
+	}
+	for i, tr := range traces {
+		if len(tr) == 0 {
+			return nil, &ConfigError{Field: "Trace", Value: i, Reason: "trace must be non-empty"}
+		}
+	}
+	obs := events.Synchronized(e.observer)
+	results := make([]*ServeResult, len(traces))
+	errs := make([]error, len(traces))
+	_ = grid.Run(ctx, len(traces), 0, func(cellCtx context.Context, i int) {
+		results[i], errs[i] = serve.Run(cellCtx, e.serveConfig(traces[i], obs))
 	})
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, ctx.Err()
 }
 
 // EvaluatePolicy runs the named sparse-attention policy (see the

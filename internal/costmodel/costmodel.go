@@ -54,12 +54,58 @@ func (s *Sample) add(o Sample) {
 }
 
 // Cost evaluates operation timings against a hardware profile.
+//
+// The exported constructor New precomputes the per-profile constant
+// products the hot-path methods would otherwise rebuild on every call
+// (peak GEMM FLOPS, the elementwise FLOPS ceiling, the scatter-penalised
+// gather bandwidth). A zero-valued literal Cost{Prof: p} still works —
+// the accessors fall back to computing the same products, bit for bit.
 type Cost struct {
 	Prof memsim.Profile
+
+	gemmPeak  float64 // PeakFLOPS · GEMMUtil
+	vecPeak   float64 // PeakFLOPS · 0.05 (elementwise compute ceiling)
+	scatterBW float64 // HBMBandwidth · scatterEff
 }
 
-// New returns a cost model over the profile.
-func New(p memsim.Profile) Cost { return Cost{Prof: p} }
+// scatterEff discounts gather bandwidth for irregular reads.
+const scatterEff = 0.7
+
+// New returns a cost model over the profile with the per-profile
+// constants hoisted.
+func New(p memsim.Profile) Cost {
+	return Cost{
+		Prof:      p,
+		gemmPeak:  p.PeakFLOPS * p.GEMMUtil,
+		vecPeak:   p.PeakFLOPS * 0.05,
+		scatterBW: p.HBMBandwidth * scatterEff,
+	}
+}
+
+// gemmPeakFLOPS returns PeakFLOPS·GEMMUtil, hoisted by New or recomputed
+// for literal constructions.
+func (c Cost) gemmPeakFLOPS() float64 {
+	if c.gemmPeak != 0 {
+		return c.gemmPeak
+	}
+	return c.Prof.PeakFLOPS * c.Prof.GEMMUtil
+}
+
+// vecPeakFLOPS returns the elementwise compute ceiling PeakFLOPS·0.05.
+func (c Cost) vecPeakFLOPS() float64 {
+	if c.vecPeak != 0 {
+		return c.vecPeak
+	}
+	return c.Prof.PeakFLOPS * 0.05
+}
+
+// scatterBandwidth returns HBMBandwidth·scatterEff.
+func (c Cost) scatterBandwidth() float64 {
+	if c.scatterBW != 0 {
+		return c.scatterBW
+	}
+	return c.Prof.HBMBandwidth * scatterEff
+}
 
 // attainable returns the FLOP/s a GEMM with the given output size can
 // achieve: full GEMMUtil·Peak once the output saturates the GPU, degrading
@@ -73,7 +119,7 @@ func (c Cost) attainable(outputElems int64) float64 {
 			frac = 0.02
 		}
 	}
-	return c.Prof.PeakFLOPS * c.Prof.GEMMUtil * frac
+	return c.gemmPeakFLOPS() * frac
 }
 
 // GEMM costs an m×k · k×n matrix multiply at the given element width with
@@ -103,7 +149,7 @@ func (c Cost) BatchedGEMV(batch, k, n int64, bytesPerElem int) Sample {
 func (c Cost) elementwise(n int64, flopsPerElem, bytesPerElem int, vectorEff float64) Sample {
 	flops := n * int64(flopsPerElem)
 	bytes := 2 * n * int64(bytesPerElem) // read + write
-	tCompute := float64(flops) / (c.Prof.PeakFLOPS * 0.05)
+	tCompute := float64(flops) / c.vecPeakFLOPS()
 	tMemory := float64(bytes) / (c.Prof.HBMBandwidth * vectorEff)
 	return Sample{Seconds: maxf(tCompute, tMemory) + launchLatency, FLOPs: flops, Bytes: bytes}
 }
@@ -117,9 +163,8 @@ func (c Cost) Elementwise(n int64, flopsPerElem, bytesPerElem int) Sample {
 // (scattered read + dense write), the "sparse KV tensors" bar of Fig. 11.
 func (c Cost) Gather(n int64, rowBytes int64) Sample {
 	bytes := 2 * n * rowBytes
-	const scatterEff = 0.7 // irregular reads cost bandwidth
 	return Sample{
-		Seconds: float64(bytes)/(c.Prof.HBMBandwidth*scatterEff) + launchLatency,
+		Seconds: float64(bytes)/c.scatterBandwidth() + launchLatency,
 		Bytes:   bytes,
 	}
 }

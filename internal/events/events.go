@@ -9,8 +9,12 @@
 // All times are simulated seconds on the run's clock, not wall time.
 // Events are emitted synchronously from the single-goroutine event loops,
 // in deterministic order: an Observer sees exactly the sequence the
-// run's event log records, and a nil observer costs nothing.
+// run's event log records, and a nil observer costs nothing. An observer
+// shared across concurrent runs (a parallel sweep) can be wrapped with
+// Synchronized to serialize delivery instead of locking internally.
 package events
+
+import "sync"
 
 // Step reports one completed decode step (lockstep engine) or one
 // continuous-batching decode iteration (serving simulator).
@@ -108,6 +112,49 @@ func (f Funcs) OnCompletion(e Completion) {
 	if f.Completion != nil {
 		f.Completion(e)
 	}
+}
+
+// Synchronized wraps obs so callbacks arriving from several goroutines —
+// an observer shared across the concurrent cells of a parallel sweep —
+// are serialized through one mutex: each callback runs exclusively, so
+// the wrapped observer needs no internal locking. Events from different
+// cells interleave in completion order (cells are independent runs), but
+// every individual event is delivered exactly once and atomically.
+// A nil observer wraps to nil.
+func Synchronized(obs Observer) Observer {
+	if obs == nil {
+		return nil
+	}
+	return &synced{obs: obs}
+}
+
+type synced struct {
+	mu  sync.Mutex
+	obs Observer
+}
+
+func (s *synced) OnStep(e Step) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obs.OnStep(e)
+}
+
+func (s *synced) OnAdmission(e Admission) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obs.OnAdmission(e)
+}
+
+func (s *synced) OnPreemption(e Preemption) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obs.OnPreemption(e)
+}
+
+func (s *synced) OnCompletion(e Completion) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obs.OnCompletion(e)
 }
 
 // Multi fans every event out to each observer in order.

@@ -1,0 +1,105 @@
+package grid
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunCoversAllCells checks every index runs exactly once and lands at
+// its own slot, across worker counts.
+func TestRunCoversAllCells(t *testing.T) {
+	const n = 64
+	for _, workers := range []int{0, 1, 2, 7, n, n * 2} {
+		got := make([]int32, n)
+		err := Run(context.Background(), n, workers, func(_ context.Context, i int) {
+			atomic.AddInt32(&got[i], 1)
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range got {
+			if c != 1 {
+				t.Fatalf("workers=%d: cell %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestRunBoundsConcurrency tracks the high-water mark of concurrently
+// running cells against the worker cap.
+func TestRunBoundsConcurrency(t *testing.T) {
+	const n, workers = 128, 4
+	var inFlight, peak atomic.Int32
+	err := Run(context.Background(), n, workers, func(_ context.Context, i int) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		for j := 0; j < 1000; j++ { // widen the overlap window
+			_ = j
+		}
+		inFlight.Add(-1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent cells, cap %d", p, workers)
+	}
+}
+
+// TestRunSerialOrder pins the inline single-worker mode: cells run in
+// index order on the caller's goroutine.
+func TestRunSerialOrder(t *testing.T) {
+	var order []int
+	err := Run(context.Background(), 8, 1, func(_ context.Context, i int) {
+		order = append(order, i) // no locking: inline mode is sequential
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order %v", order)
+		}
+	}
+}
+
+// TestRunCancellationSkipsUnstarted cancels mid-sweep and checks Run
+// reports it and that not every cell ran.
+func TestRunCancellationSkipsUnstarted(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const n = 1024
+	var ran atomic.Int32
+	err := Run(ctx, n, 2, func(_ context.Context, i int) {
+		if ran.Add(1) == 3 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got >= n {
+		t.Fatalf("all %d cells ran despite cancellation", got)
+	}
+}
+
+// TestRunEmpty pins the degenerate inputs.
+func TestRunEmpty(t *testing.T) {
+	if err := Run(context.Background(), 0, 4, func(context.Context, int) {
+		t.Fatal("fn ran for n=0")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Run(ctx, 4, 2, func(context.Context, int) {}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled Run: err = %v", err)
+	}
+}

@@ -248,10 +248,23 @@ type LatencySummary struct {
 // Summarize digests v into its serving percentiles. Empty input yields the
 // zero summary. v is not modified.
 func Summarize(v []float64) LatencySummary {
+	sum, _ := SummarizeInto(v, nil)
+	return sum
+}
+
+// SummarizeInto is Summarize with a caller-owned scratch buffer: v is
+// copied into scratch (grown as needed), sorted once, and every quantile
+// of the summary is read from that single sort. It returns the summary
+// and the (possibly grown) scratch for reuse, so a caller digesting
+// several distributions — the serving loop's TTFT/TPOT/E2E triple —
+// performs no per-summary allocation after the first. v is not modified;
+// the returned scratch holds v's values in sorted order until the next
+// call. Bit-identical to Summarize.
+func SummarizeInto(v, scratch []float64) (LatencySummary, []float64) {
 	if len(v) == 0 {
-		return LatencySummary{}
+		return LatencySummary{}, scratch
 	}
-	s := append([]float64(nil), v...)
+	s := append(scratch[:0], v...)
 	sort.Float64s(s)
 	return LatencySummary{
 		Mean: Mean(s),
@@ -259,7 +272,7 @@ func Summarize(v []float64) LatencySummary {
 		P95:  sortedPercentile(s, 95),
 		P99:  sortedPercentile(s, 99),
 		Max:  s[len(s)-1],
-	}
+	}, s
 }
 
 // sortedPercentile is Percentile over already-sorted data, so one sort

@@ -313,3 +313,36 @@ func TestSummarize(t *testing.T) {
 		t.Errorf("Summarize mutated its input: %v", v)
 	}
 }
+
+// TestSummarizeIntoMatchesSummarize pins the scratch-reusing digest
+// bit-for-bit against Summarize, across sizes and one buffer threaded
+// through every call — the serving finalizer's usage pattern.
+func TestSummarizeIntoMatchesSummarize(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var scratch []float64
+	for _, n := range []int{0, 1, 2, 3, 7, 50, 501} {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.NormFloat64() * 10
+		}
+		orig := append([]float64(nil), v...)
+		want := Summarize(v)
+		var got LatencySummary
+		got, scratch = SummarizeInto(v, scratch)
+		if got != want {
+			t.Fatalf("n=%d: SummarizeInto %+v != Summarize %+v", n, got, want)
+		}
+		for i := range v {
+			if v[i] != orig[i] {
+				t.Fatalf("n=%d: SummarizeInto mutated its input at %d", n, i)
+			}
+		}
+	}
+	// A reused scratch larger than the next input must not leak stale
+	// values into the digest.
+	small := []float64{2, 1}
+	got, _ := SummarizeInto(small, scratch)
+	if want := Summarize(small); got != want {
+		t.Fatalf("reused scratch corrupted digest: %+v != %+v", got, want)
+	}
+}

@@ -13,7 +13,8 @@ import (
 
 // replayConfig is a pressured, heterogeneous workload that exercises
 // admission, offloading, and completions — the paths whose ordering a
-// nondeterministic loop would scramble.
+// nondeterministic loop would scramble. The determinism suite runs with
+// the event log captured: the log is the replay artifact it pins.
 func replayConfig(scheduler string) Config {
 	return Config{
 		Model:      model.MustByName("opt-6.7b"),
@@ -23,6 +24,7 @@ func replayConfig(scheduler string) Config {
 		KVSparsity: 0.8,
 		KVBits:     8,
 		MaxBatch:   8,
+		CaptureLog: true,
 	}
 }
 

@@ -27,6 +27,14 @@
 // The loop is single-goroutine and seeded, so a (trace, config) pair
 // replays to a byte-identical event log and metrics, independent of
 // GOMAXPROCS.
+//
+// The steady state is engineered allocation-free: the per-iteration plan
+// and ragged-attention scratch, the per-admission scheduler Context and
+// sequence state, and the preemption requeue all reuse server-owned
+// storage, and the human-readable event log is opt-in (Config.CaptureLog)
+// so sweeps pay no formatting at all. Run is safe to execute concurrently
+// with other Runs — each owns its state — which is what Engine.ServeMany
+// and the parallel sweep CLIs exploit. See DESIGN.md §8.
 package serve
 
 import (
@@ -83,6 +91,13 @@ type Config struct {
 	// completion, and per-iteration step events, mirroring the event log.
 	// Callbacks run inline on the event loop.
 	Observer events.Observer
+
+	// CaptureLog enables Result.EventLog, the human-readable record of
+	// every admission, preemption, and completion. Off (the default) the
+	// steady-state loop formats nothing — the mode sweeps run in; on, the
+	// captured log is byte-identical to what the loop has always produced,
+	// which the replay-determinism suite pins.
+	CaptureLog bool
 }
 
 // withDefaults returns the config with zero fields defaulted.
@@ -195,11 +210,17 @@ type Result struct {
 }
 
 // RenderEventLog joins the event log into one newline-terminated string.
+// An empty log (capture off, or no events fired) renders as "".
 func (r *Result) RenderEventLog() string {
+	if len(r.EventLog) == 0 {
+		return ""
+	}
 	return strings.Join(r.EventLog, "\n") + "\n"
 }
 
-// seqState is one admitted request's runtime state.
+// seqState is one admitted request's runtime state. Instances (and their
+// embedded sched.Context) are owned by the server's seqPool and recycled
+// across admissions, so the steady-state loop does not allocate them.
 type seqState struct {
 	req workload.Request
 	sch sched.Scheduler
@@ -209,16 +230,31 @@ type seqState struct {
 	rec *RequestRecord
 }
 
+// stepped pairs a sequence with its plan for the current iteration.
+type stepped struct {
+	st   *seqState
+	plan sched.StepPlan
+}
+
 // server is the event-loop state of one run.
 type server struct {
-	cfg      Config
-	sys      *memsim.System
-	cost     costmodel.Cost
-	newSched sched.Factory // per-admission scheduler constructor
+	cfg        Config
+	captureLog bool
+	sys        *memsim.System
+	cost       costmodel.Cost
+	newSched   sched.Factory // per-admission scheduler constructor
 
-	pending []workload.Request // arrival-ordered wait queue
+	// pending[pendingHead:] is the arrival-ordered wait queue. Popping
+	// advances the head; a preemption re-queues its request by stepping
+	// the head back over the slot its own admission vacated, so requeues
+	// never allocate.
+	pending     []workload.Request
+	pendingHead int
+
 	active  []*seqState
 	records map[int]*RequestRecord
+	// recArena backs the records map with one flat allocation.
+	recArena []RequestRecord
 
 	preemptions int
 	iterations  int
@@ -236,6 +272,17 @@ type server struct {
 	// unservable diagnosis.
 	admissionBlockedHeadroom int64
 	lastAdmitErr             error
+
+	// Iteration scratch, reused every turn: the per-sequence plans and
+	// the ragged attended-token counts of the fused compute charge.
+	plans    []stepped
+	attended []int
+	// seqPool recycles seqState+Context pairs released by completion,
+	// preemption, or a failed admission probe; bounded by MaxBatch+1.
+	seqPool []*seqState
+	// kvTokenFP16 is the per-run constant Model.KVBytesPerToken(2),
+	// hoisted out of the quantization charge.
+	kvTokenFP16 int64
 
 	log []string
 	res *Result
@@ -263,19 +310,23 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 
 	s := &server{
 		cfg:                      cfg,
+		captureLog:               cfg.CaptureLog,
 		sys:                      memsim.NewSystem(cfg.Profile),
 		cost:                     costmodel.New(cfg.Profile),
 		newSched:                 factory,
 		pending:                  append(workload.Trace(nil), cfg.Trace...),
 		records:                  make(map[int]*RequestRecord, len(cfg.Trace)),
+		recArena:                 make([]RequestRecord, len(cfg.Trace)),
 		admissionBlockedHeadroom: -1,
+		kvTokenFP16:              cfg.Model.KVBytesPerToken(2),
 		res: &Result{
 			Scheduler: cfg.Scheduler,
 			Breakdown: trace.NewBreakdown(),
 		},
 	}
-	for _, r := range cfg.Trace {
-		s.records[r.ID] = &RequestRecord{ID: r.ID, Arrival: r.Arrival, Input: r.Input, Output: r.Output}
+	for i, r := range cfg.Trace {
+		s.recArena[i] = RequestRecord{ID: r.ID, Arrival: r.Arrival, Input: r.Input, Output: r.Output}
+		s.records[r.ID] = &s.recArena[i]
 	}
 
 	if err := s.reserveStatic(); err != nil {
@@ -311,13 +362,13 @@ func (s *server) reserveStatic() error {
 // Cancellation is checked once per turn; a cancelled run releases every
 // active sequence before returning so the leak check below still holds.
 func (s *server) loop(ctx context.Context) error {
-	for len(s.pending) > 0 || len(s.active) > 0 {
+	for s.pendingHead < len(s.pending) || len(s.active) > 0 {
 		if err := ctx.Err(); err != nil {
 			return s.cancel(err)
 		}
 		// Idle with work only in the future: jump to the next arrival.
-		if len(s.active) == 0 && s.pending[0].Arrival > s.sys.Clock() {
-			s.sys.Advance(s.pending[0].Arrival - s.sys.Clock())
+		if len(s.active) == 0 && s.pending[s.pendingHead].Arrival > s.sys.Clock() {
+			s.sys.Advance(s.pending[s.pendingHead].Arrival - s.sys.Clock())
 			s.admissionBlockedHeadroom = -1
 		}
 		if err := s.admit(); err != nil {
@@ -327,7 +378,7 @@ func (s *server) loop(ctx context.Context) error {
 			// Admission failed on an empty system: the head request can
 			// never run.
 			return fmt.Errorf("serve: request %d unservable: prompt KV cannot be placed on an empty system: %w",
-				s.pending[0].ID, s.lastAdmitErr)
+				s.pending[s.pendingHead].ID, s.lastAdmitErr)
 		}
 		if err := s.iterate(); err != nil {
 			return err
@@ -342,8 +393,10 @@ func (s *server) loop(ctx context.Context) error {
 func (s *server) cancel(cause error) error {
 	for _, st := range s.active {
 		gpu, cpu := st.rel.Release(st.ctx)
-		s.logf("t=%.9f cancel r=%d gen=%d freedGPU=%d freedCPU=%d",
-			s.sys.Clock(), st.req.ID, st.j, gpu, cpu)
+		if s.captureLog {
+			s.logf("t=%.9f cancel r=%d gen=%d freedGPU=%d freedCPU=%d",
+				s.sys.Clock(), st.req.ID, st.j, gpu, cpu)
+		}
 	}
 	s.active = s.active[:0]
 	if err := s.checkLeak(); err != nil {
@@ -364,8 +417,8 @@ func (s *server) checkLeak() error {
 // admit moves arrived requests from the wait queue into the decode batch,
 // FCFS, until the batch cap or capacity stops it.
 func (s *server) admit() error {
-	for len(s.active) < s.cfg.MaxBatch && len(s.pending) > 0 {
-		req := s.pending[0]
+	for len(s.active) < s.cfg.MaxBatch && s.pendingHead < len(s.pending) {
+		req := s.pending[s.pendingHead]
 		if req.Arrival > s.sys.Clock() {
 			return nil
 		}
@@ -383,9 +436,31 @@ func (s *server) admit() error {
 			return nil
 		}
 		s.admissionBlockedHeadroom = -1
-		s.pending = s.pending[1:]
+		s.pendingHead++
 	}
 	return nil
+}
+
+// getSeq takes a recycled seqState (with its Context) from the pool, or
+// allocates the pool's newest member.
+func (s *server) getSeq() *seqState {
+	if n := len(s.seqPool); n > 0 {
+		st := s.seqPool[n-1]
+		s.seqPool = s.seqPool[:n-1]
+		return st
+	}
+	return &seqState{ctx: &sched.Context{}}
+}
+
+// putSeq resets a retired seqState and returns it to the pool. The
+// scheduler instance is dropped — policies keep per-sequence state, so a
+// fresh one is constructed per admission — but the seqState and Context
+// shells are reused.
+func (s *server) putSeq(st *seqState) {
+	ctx := st.ctx
+	*ctx = sched.Context{}
+	*st = seqState{ctx: ctx}
+	s.seqPool = append(s.seqPool, st)
 }
 
 // tryAdmit prefills and places one request. A placement failure rolls the
@@ -399,7 +474,9 @@ func (s *server) tryAdmit(req workload.Request) (bool, error) {
 	if !ok {
 		return false, fmt.Errorf("serve: scheduler %q has no Release hook", s.cfg.Scheduler)
 	}
-	ctx := &sched.Context{
+	st := s.getSeq()
+	ctx := st.ctx
+	*ctx = sched.Context{
 		Sys:          s.sys,
 		Cost:         s.cost,
 		Model:        s.cfg.Model,
@@ -422,16 +499,19 @@ func (s *server) tryAdmit(req workload.Request) (bool, error) {
 		s.sys.FreeGPU(gpuAfter - gpuBefore)
 		s.sys.FreeCPU(cpuAfter - cpuBefore)
 		s.lastAdmitErr = err
+		s.putSeq(st)
 		return false, nil
 	}
 
 	rec := s.records[req.ID]
 	rec.Admitted = s.sys.Clock() - prefill
 	rec.FirstToken = s.sys.Clock()
-	st := &seqState{req: req, sch: sch, rel: rel, ctx: ctx, rec: rec}
+	st.req, st.sch, st.rel, st.rec = req, sch, rel, rec
 	s.active = append(s.active, st)
-	s.logf("t=%.9f admit r=%d in=%d out=%d wait=%.9f batch=%d",
-		s.sys.Clock(), req.ID, req.Input, req.Output, rec.Admitted-req.Arrival, len(s.active))
+	if s.captureLog {
+		s.logf("t=%.9f admit r=%d in=%d out=%d wait=%.9f batch=%d",
+			s.sys.Clock(), req.ID, req.Input, req.Output, rec.Admitted-req.Arrival, len(s.active))
+	}
 	if s.cfg.Observer != nil {
 		s.cfg.Observer.OnAdmission(events.Admission{
 			Request: req.ID, Clock: s.sys.Clock(), Wait: rec.Admitted - req.Arrival,
@@ -451,11 +531,7 @@ func (s *server) iterate() error {
 	s.iterations++
 	s.batchSum += len(s.active)
 
-	type stepped struct {
-		st   *seqState
-		plan sched.StepPlan
-	}
-	var plans []stepped
+	plans := s.plans[:0]
 	// The active list is admission-ordered (appends only), so the
 	// youngest sequence is always the last element — and therefore never
 	// one that was already stepped this iteration.
@@ -487,7 +563,7 @@ func (s *server) iterate() error {
 	// Fused iteration compute: ragged attention + shared projections for
 	// normally cached sequences; full forward passes for no-cache plans;
 	// pooled recomputation and quantization charges.
-	var attended []int
+	attended := s.attended[:0]
 	recomputed, quantPos := 0, 0
 	sparse := false
 	for _, p := range plans {
@@ -518,7 +594,7 @@ func (s *server) iterate() error {
 		s.res.Breakdown.Add(trace.CatRecompute, t)
 	}
 	if s.cfg.KVBits < 16 && quantPos > 0 {
-		t := s.cost.Quantize(int64(quantPos) * s.cfg.Model.KVBytesPerToken(2)).Seconds
+		t := s.cost.Quantize(int64(quantPos) * s.kvTokenFP16).Seconds
 		s.sys.Advance(t)
 		s.res.Breakdown.Add(trace.CatQuant, t)
 	}
@@ -530,6 +606,10 @@ func (s *server) iterate() error {
 			s.complete(p.st)
 		}
 	}
+	// Hand the (possibly grown) scratch back for the next iteration. The
+	// retired seqStates plans still points at were recycled by complete,
+	// so the truncation on entry is what drops those references.
+	s.plans, s.attended = plans, attended
 	if s.cfg.Observer != nil {
 		s.cfg.Observer.OnStep(events.Step{
 			Step: iteration, Batch: startBatch,
@@ -546,8 +626,10 @@ func (s *server) preempt(victim *seqState) {
 	gpu, cpu := victim.rel.Release(victim.ctx)
 	victim.rec.Preemptions++
 	s.preemptions++
-	s.logf("t=%.9f preempt r=%d gen=%d freedGPU=%d freedCPU=%d",
-		s.sys.Clock(), victim.req.ID, victim.j, gpu, cpu)
+	if s.captureLog {
+		s.logf("t=%.9f preempt r=%d gen=%d freedGPU=%d freedCPU=%d",
+			s.sys.Clock(), victim.req.ID, victim.j, gpu, cpu)
+	}
 	if s.cfg.Observer != nil {
 		s.cfg.Observer.OnPreemption(events.Preemption{
 			Request: victim.req.ID, Clock: s.sys.Clock(), Generated: victim.j,
@@ -556,8 +638,17 @@ func (s *server) preempt(victim *seqState) {
 
 	s.active = s.active[:len(s.active)-1]
 	// Requeue ahead of unadmitted arrivals: the request keeps its FCFS
-	// position (its original arrival time orders it first).
-	s.pending = append(workload.Trace{victim.req}, s.pending...)
+	// position (its original arrival time orders it first). Every active
+	// sequence consumed one head slot at admission, so stepping the head
+	// back reuses exactly the slot this request vacated — no allocation,
+	// no shifting; the cold fallback only guards the impossible case.
+	if s.pendingHead > 0 {
+		s.pendingHead--
+		s.pending[s.pendingHead] = victim.req
+	} else {
+		s.pending = append([]workload.Request{victim.req}, s.pending...)
+	}
+	s.putSeq(victim)
 	s.admissionBlockedHeadroom = -1
 }
 
@@ -572,14 +663,17 @@ func (s *server) complete(st *seqState) {
 		}
 	}
 	s.admissionBlockedHeadroom = -1
-	s.logf("t=%.9f finish r=%d ttft=%.9f tpot=%.9f freedGPU=%d freedCPU=%d",
-		s.sys.Clock(), st.req.ID, st.rec.TTFT(), st.rec.TPOT(), gpu, cpu)
+	if s.captureLog {
+		s.logf("t=%.9f finish r=%d ttft=%.9f tpot=%.9f freedGPU=%d freedCPU=%d",
+			s.sys.Clock(), st.req.ID, st.rec.TTFT(), st.rec.TPOT(), gpu, cpu)
+	}
 	if s.cfg.Observer != nil {
 		s.cfg.Observer.OnCompletion(events.Completion{
 			Request: st.req.ID, Clock: s.sys.Clock(),
 			TTFT: st.rec.TTFT(), TPOT: st.rec.TPOT(), Preemptions: st.rec.Preemptions,
 		})
 	}
+	s.putSeq(st)
 }
 
 // finalize computes the aggregate metrics from the per-request records.
@@ -592,7 +686,11 @@ func (s *server) finalize() {
 	}
 	res.PeakGPU, res.PeakCPU = s.sys.Peak()
 
-	var ttft, tpot, e2e []float64
+	n := len(s.cfg.Trace)
+	res.Requests = make([]RequestRecord, 0, n)
+	ttft := make([]float64, 0, n)
+	tpot := make([]float64, 0, n)
+	e2e := make([]float64, 0, n)
 	totalTokens, goodTokens, good := 0, 0, 0
 	for _, r := range s.cfg.Trace {
 		rec := s.records[r.ID]
@@ -614,9 +712,11 @@ func (s *server) finalize() {
 			goodTokens += rec.Output
 		}
 	}
-	res.TTFT = metrics.Summarize(ttft)
-	res.TPOT = metrics.Summarize(tpot)
-	res.E2E = metrics.Summarize(e2e)
+	// One percentile scratch serves all three latency digests.
+	var scratch []float64
+	res.TTFT, scratch = metrics.SummarizeInto(ttft, scratch)
+	res.TPOT, scratch = metrics.SummarizeInto(tpot, scratch)
+	res.E2E, _ = metrics.SummarizeInto(e2e, scratch)
 	if res.Makespan > 0 {
 		res.Throughput = float64(totalTokens) / res.Makespan
 		res.Goodput = float64(goodTokens) / res.Makespan

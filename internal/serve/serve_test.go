@@ -137,9 +137,10 @@ func TestServePreemptionRecovers(t *testing.T) {
 		Scheduler: "gpu-only",
 		// Four long sequences whose dense KV cannot coexist in the
 		// ~1.8 GB of GPU headroom left next to the 6.7B weights.
-		Trace:    workload.UniformTrace(4, 0.05, 1024, 512),
-		KVBits:   16,
-		MaxBatch: 4,
+		Trace:      workload.UniformTrace(4, 0.05, 1024, 512),
+		KVBits:     16,
+		MaxBatch:   4,
+		CaptureLog: true,
 	}
 	res, err := Run(context.Background(), cfg)
 	if err != nil {

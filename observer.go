@@ -36,3 +36,12 @@ type ObserverFuncs = events.Funcs
 // MultiObserver fans every event out to each observer in order; nil
 // entries are skipped.
 func MultiObserver(obs ...Observer) Observer { return events.Multi(obs...) }
+
+// SynchronizedObserver wraps an observer so callbacks arriving from
+// several goroutines — one observer shared across the concurrent cells
+// of ServeMany or a `-parallel` sweep — are serialized through one
+// mutex; the wrapped observer then needs no internal locking. ServeMany
+// applies this wrapping to the engine's observer automatically; use it
+// directly when sharing one observer across engines run concurrently.
+// A nil observer wraps to nil.
+func SynchronizedObserver(o Observer) Observer { return events.Synchronized(o) }

@@ -64,7 +64,10 @@ type ServeResult = serve.Result
 // configurations are bit-identical. Zero-valued KVBits, MaxBatch,
 // SLOTTFT, and SLOTPOT select the documented defaults, as they always
 // have. As in Simulate, KVBits is now validated up front to {8, 16}:
-// the INT4 setting is rejected rather than passed through.
+// the INT4 setting is rejected rather than passed through. One behaviour
+// change rides along with the engine's event-log switch: the
+// human-readable ServeResult.EventLog is no longer captured by default
+// (it is opt-in via New + WithEventLog(true)); metrics are unaffected.
 func Serve(opts ServeOptions) (*ServeResult, error) {
 	engineOpts := []Option{
 		maybeProfile(opts.Profile),

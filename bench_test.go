@@ -433,6 +433,56 @@ func BenchmarkSweepParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkSessionSteadyState measures one full streaming-session cycle
+// — Open, push the pressured 20-request replay workload, drain, Close —
+// the session-path counterpart of internal/serve's BenchmarkServe. The
+// allocs/op delta against that benchmark is the price of the public
+// streaming surface (the window, the tap, incremental record arenas);
+// TestSessionSteadyStateAllocs guards it against regressing.
+func BenchmarkSessionSteadyState(b *testing.B) {
+	eng, err := New("opt-6.7b", WithKVSparsity(0.8), WithKVBits(8), WithMaxBatch(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := PoissonTrace(20, 3.0, 42)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := eng.Open(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range trace {
+			if err := s.Push(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClosedLoop measures one closed-loop run — 8 clients, 32
+// requests — through the Session-based driver, the unit of the
+// latency-vs-concurrency table.
+func BenchmarkClosedLoop(b *testing.B) {
+	eng, err := New("opt-6.7b", WithKVSparsity(0.8), WithKVBits(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	cl := ClosedLoop{Clients: 8, Requests: 32, ThinkTime: 0.25, Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.ServeClosedLoop(ctx, cl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkOptimizer(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := core.Config{

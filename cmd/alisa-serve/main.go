@@ -16,9 +16,20 @@
 //	                                             # GOMAXPROCS workers)
 //	alisa-serve -progress                        # live admit/preempt/finish
 //	                                             # events on stderr
+//	alisa-serve -closed-loop 1,2,4,8 -think 0.5  # closed-loop clients:
+//	                                             # latency vs concurrency
 //
 // The baselines run dense FP16 KV; ALISA runs at -sparsity / -bits
 // (paper headline: 0.8 / INT8), mirroring the lockstep evaluation.
+//
+// -closed-loop switches the workload regime: instead of replaying a
+// Poisson arrival trace (open loop, offered load fixed), each of N
+// concurrent clients issues a request, waits for its completion, thinks
+// (-think, exponential), and issues the next — the feedback regime where
+// offered load adapts to system speed, built on the streaming
+// alisa.Session API. The comma-separated values are client counts; -n
+// is the total request budget per cell, and the resulting table is
+// latency versus concurrency per scheduler.
 //
 // Each scheduler's engine is compiled once and reused across every sweep
 // rate. With -parallel the (scheduler × rate) cells execute concurrently
@@ -56,6 +67,8 @@ func main() {
 	sloTTFT := flag.Float64("slo-ttft", 10, "TTFT SLO seconds (goodput)")
 	sloTPOT := flag.Float64("slo-tpot", 0.5, "TPOT SLO seconds/token (goodput)")
 	sweep := flag.String("sweep", "", "comma-separated arrival rates for a load sweep")
+	closedLoop := flag.String("closed-loop", "", "comma-separated client counts for a closed-loop latency-vs-concurrency run")
+	think := flag.Float64("think", 0.5, "mean client think time in seconds for -closed-loop (exponential)")
 	parallel := flag.Int("parallel", 1, "concurrent sweep cells (0 = GOMAXPROCS workers, 1 = serial)")
 	progress := flag.Bool("progress", false, "stream admission/preemption/completion events to stderr")
 	flag.Parse()
@@ -65,6 +78,12 @@ func main() {
 	}
 	if *parallel < 0 {
 		fatal(fmt.Errorf("-parallel must be ≥ 0, got %d", *parallel))
+	}
+	if *sweep != "" && *closedLoop != "" {
+		fatal(fmt.Errorf("-sweep and -closed-loop are different load regimes; pick one"))
+	}
+	if *think < 0 {
+		fatal(fmt.Errorf("-think must be ≥ 0, got %v", *think))
 	}
 	names := strings.Split(*scheds, ",")
 	rates := []float64{*rate}
@@ -81,6 +100,16 @@ func main() {
 	for _, r := range rates {
 		if r <= 0 {
 			fatal(fmt.Errorf("arrival rate must be positive, got %v", r))
+		}
+	}
+	var clientCounts []int
+	if *closedLoop != "" {
+		for _, f := range strings.Split(*closedLoop, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || v <= 0 {
+				fatal(fmt.Errorf("bad -closed-loop entry %q: want a positive client count", f))
+			}
+			clientCounts = append(clientCounts, v)
 		}
 	}
 
@@ -122,6 +151,11 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	if len(clientCounts) > 0 {
+		runClosedLoop(ctx, names, engines, compileErr, clientCounts, *n, *think, *seed, *parallel, *modelName)
+		return
+	}
+
 	// The sweep grid: cell (ri, si) = rates[ri] × names[si], results in
 	// index-addressed storage so the tables render in deterministic order
 	// no matter which worker finishes a cell first.
@@ -130,17 +164,12 @@ func main() {
 		traces[ri] = alisa.PoissonTrace(*n, r, *seed)
 	}
 	cells := len(rates) * len(names)
-	results := make([]*alisa.ServeResult, cells)
-	errs := make([]error, cells)
-	started := make([]bool, cells)
-	_ = grid.Run(ctx, cells, *parallel, func(cellCtx context.Context, c int) {
-		name := names[c%len(names)]
-		eng := engines[name]
+	results, errs, started := runCells(ctx, cells, *parallel, func(cellCtx context.Context, c int) (*alisa.ServeResult, error) {
+		eng := engines[names[c%len(names)]]
 		if eng == nil {
-			return // compile error renders from compileErr
+			return nil, nil // compile error renders from compileErr
 		}
-		started[c] = true
-		results[c], errs[c] = eng.Serve(cellCtx, traces[c/len(names)])
+		return eng.Serve(cellCtx, traces[c/len(names)])
 	})
 
 	for ri := range rates {
@@ -150,31 +179,20 @@ func main() {
 			"TPOT p50", "TPOT p99", "preempt", "batch")
 		for si, name := range names {
 			c := ri*len(names) + si
-			res, err := results[c], errs[c]
-			switch {
-			case compileErr[name] != nil:
-				addErrorRow(tb, name, compileErr[name])
-			case !started[c]:
-				addErrorRow(tb, name, fmt.Errorf("skipped: sweep cancelled"))
-			case err != nil && !(res != nil && ctx.Err() != nil):
-				addErrorRow(tb, name, err)
-			default:
-				label := name
-				if err != nil {
-					// The only error that reaches here is this cell's own
-					// cancellation with partial metrics; cells that finished
-					// before Ctrl-C keep their plain label.
-					label = fmt.Sprintf("%s (cancelled: %d/%d done)", name, len(res.Requests), *n)
-				}
-				tb.AddRow(label,
-					fmt.Sprintf("%.1f", res.Throughput),
-					fmt.Sprintf("%.1f", res.Goodput),
-					fmt.Sprintf("%.0f%%", res.SLOAttainment*100),
-					textfmt.Seconds(res.TTFT.P50), textfmt.Seconds(res.TTFT.P99),
-					textfmt.Seconds(res.TPOT.P50), textfmt.Seconds(res.TPOT.P99),
-					fmt.Sprintf("%d", res.Preemptions),
-					fmt.Sprintf("%.1f", res.MeanBatch))
+			res := results[c]
+			suffix, rowErr := classifyCell(compileErr[name], started[c], res, errs[c], ctx.Err() != nil, *n)
+			if rowErr != nil {
+				addErrorRow(tb, name, rowErr)
+				continue
 			}
+			tb.AddRow(name+suffix,
+				fmt.Sprintf("%.1f", res.Throughput),
+				fmt.Sprintf("%.1f", res.Goodput),
+				fmt.Sprintf("%.0f%%", res.SLOAttainment*100),
+				textfmt.Seconds(res.TTFT.P50), textfmt.Seconds(res.TTFT.P99),
+				textfmt.Seconds(res.TPOT.P50), textfmt.Seconds(res.TPOT.P99),
+				fmt.Sprintf("%d", res.Preemptions),
+				fmt.Sprintf("%.1f", res.MeanBatch))
 		}
 		fmt.Println(tb.String())
 	}
@@ -183,11 +201,102 @@ func main() {
 	}
 }
 
+// runCells executes one scheduler-grid's cells on the bounded worker
+// pool, storing each outcome at its deterministic index so tables render
+// in grid order regardless of completion order.
+func runCells(ctx context.Context, cells, parallel int,
+	run func(context.Context, int) (*alisa.ServeResult, error)) (results []*alisa.ServeResult, errs []error, started []bool) {
+	results = make([]*alisa.ServeResult, cells)
+	errs = make([]error, cells)
+	started = make([]bool, cells)
+	_ = grid.Run(ctx, cells, parallel, func(cellCtx context.Context, c int) {
+		started[c] = true
+		results[c], errs[c] = run(cellCtx, c)
+	})
+	return results, errs, started
+}
+
+// classifyCell folds one executed cell's outcome into either an error to
+// render as an error row, or a label suffix — empty for a healthy cell,
+// the partial-progress note for a cell cancelled mid-run (the only
+// runErr that carries metrics: interrupted runs report over the
+// requests that completed; cells that finished before Ctrl-C keep their
+// plain label).
+func classifyCell(compileErr error, started bool, res *alisa.ServeResult, runErr error,
+	interrupted bool, n int) (suffix string, rowErr error) {
+	switch {
+	case compileErr != nil:
+		return "", compileErr
+	case !started:
+		return "", fmt.Errorf("skipped: cancelled before start")
+	case runErr != nil && !(res != nil && interrupted):
+		return "", runErr
+	case runErr != nil:
+		return fmt.Sprintf(" (cancelled: %d/%d done)", len(res.Requests), n), nil
+	}
+	return "", nil
+}
+
+// runClosedLoop runs the closed-loop latency-vs-concurrency grid: for
+// every (client count × scheduler) cell, n requests are issued by that
+// many closed-loop clients through Engine.ServeClosedLoop, and each
+// scheduler prints one table of serving metrics against concurrency.
+// Cells run on the same bounded worker pool as the sweep; every cell is
+// deterministic in the seed, so the tables are stable across -parallel
+// settings.
+func runClosedLoop(ctx context.Context, names []string, engines map[string]*alisa.Engine,
+	compileErr map[string]error, clientCounts []int, n int, think float64, seed int64, parallel int, modelName string) {
+	cells := len(clientCounts) * len(names)
+	results, errs, started := runCells(ctx, cells, parallel, func(cellCtx context.Context, c int) (*alisa.ServeResult, error) {
+		eng := engines[names[c%len(names)]]
+		if eng == nil {
+			return nil, nil // compile error renders from compileErr
+		}
+		return eng.ServeClosedLoop(cellCtx, alisa.ClosedLoop{
+			Clients:   clientCounts[c/len(names)],
+			Requests:  n,
+			ThinkTime: think,
+			Seed:      seed,
+		})
+	})
+
+	for si, name := range names {
+		fmt.Printf("## %s, closed loop: %d requests, think %.2fs (seed %d) — %s\n\n",
+			modelName, n, think, seed, name)
+		tb := textfmt.NewTable("clients", "tput tok/s", "goodput", "SLO%", "TTFT p50", "TTFT p99",
+			"TPOT p50", "TPOT p99", "E2E p50", "preempt", "batch")
+		for ci, clients := range clientCounts {
+			c := ci*len(names) + si
+			res := results[c]
+			label := fmt.Sprintf("%d", clients)
+			suffix, rowErr := classifyCell(compileErr[name], started[c], res, errs[c], ctx.Err() != nil, n)
+			if rowErr != nil {
+				addErrorRow(tb, label, rowErr)
+				continue
+			}
+			tb.AddRow(label+suffix,
+				fmt.Sprintf("%.1f", res.Throughput),
+				fmt.Sprintf("%.1f", res.Goodput),
+				fmt.Sprintf("%.0f%%", res.SLOAttainment*100),
+				textfmt.Seconds(res.TTFT.P50), textfmt.Seconds(res.TTFT.P99),
+				textfmt.Seconds(res.TPOT.P50), textfmt.Seconds(res.TPOT.P99),
+				textfmt.Seconds(res.E2E.P50),
+				fmt.Sprintf("%d", res.Preemptions),
+				fmt.Sprintf("%.1f", res.MeanBatch))
+		}
+		fmt.Println(tb.String())
+	}
+	if ctx.Err() != nil {
+		fmt.Println("(closed-loop run cancelled; unstarted cells were skipped)")
+	}
+}
+
 // addErrorRow renders a cell that produced no metrics — compile failure,
 // run error, or a cancelled-before-start cell — through the same column
-// layout as the metric rows.
-func addErrorRow(tb *textfmt.Table, name string, err error) {
-	tb.AddRow(name, "error: "+err.Error(), "", "", "", "", "", "", "", "")
+// layout as the metric rows (AddRow pads the remaining columns), for
+// both the sweep and closed-loop tables.
+func addErrorRow(tb *textfmt.Table, label string, err error) {
+	tb.AddRow(label, "error: "+err.Error())
 }
 
 // progressObserver streams serving events live to stderr, prefixed with

@@ -52,6 +52,10 @@ func TestServeShimBitIdentical(t *testing.T) {
 		{Model: "opt-6.7b", Scheduler: "alisa", Trace: trace, KVSparsity: 0.8, KVBits: 8, MaxBatch: 6},
 		{Model: "opt-6.7b", Scheduler: "vllm", Trace: trace, KVBits: 16},
 		{Model: "opt-6.7b", Scheduler: "hf-accelerate", Trace: trace, KVBits: 16, SLOTTFT: 5, SLOTPOT: 0.2},
+		// The zero-valued Scheduler selects the documented default
+		// ("alisa"), like every other zero-valued field of the shim — it
+		// must not leak into WithScheduler("") and fail compilation.
+		{Model: "opt-6.7b", Scheduler: "", Trace: trace, KVBits: 16},
 	}
 	for _, opts := range cases {
 		shim, err := Serve(opts)
@@ -60,8 +64,10 @@ func TestServeShimBitIdentical(t *testing.T) {
 		}
 
 		engOpts := []Option{
-			WithScheduler(opts.Scheduler),
 			WithKVSparsity(opts.KVSparsity),
+		}
+		if opts.Scheduler != "" {
+			engOpts = append(engOpts, WithScheduler(opts.Scheduler))
 		}
 		if opts.KVBits != 0 {
 			engOpts = append(engOpts, WithKVBits(opts.KVBits))
@@ -86,6 +92,9 @@ func TestServeShimBitIdentical(t *testing.T) {
 		if !reflect.DeepEqual(shim, direct) {
 			t.Fatalf("%s: shim and engine serve results diverged\nshim:   %+v\nengine: %+v",
 				opts.Scheduler, shim, direct)
+		}
+		if opts.Scheduler == "" && shim.Scheduler != "alisa" {
+			t.Fatalf("zero-valued Scheduler ran %q, want the documented default \"alisa\"", shim.Scheduler)
 		}
 	}
 }

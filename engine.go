@@ -23,8 +23,9 @@ import (
 type ConfigError struct {
 	// Field names the offending option or argument: "Model", "Profile",
 	// "Scheduler", "KVSparsity", "KVBits", "MaxBatch", "SLOTTFT",
-	// "SLOTPOT", "Observer", "Batch", "Input", "Output", "Trace",
-	// "Policy", or "Steps".
+	// "SLOTPOT", "Observer", "MetricsWindow", "Batch", "Input",
+	// "Output", "Trace", "Policy", "Steps", "Clients", "Requests", or
+	// "ThinkTime".
 	Field  string
 	Value  any
 	Reason string
@@ -56,16 +57,17 @@ const evalLayerSample = 4
 // deterministic per-cell results.
 type Engine struct {
 	// option state (raw, as supplied)
-	profileName string
-	schedName   string
-	kvSparsity  float64
-	kvBits      int
-	maxBatch    int
-	sloTTFT     float64
-	sloTPOT     float64
-	observer    Observer
-	seed        int64
-	captureLog  bool
+	profileName   string
+	schedName     string
+	kvSparsity    float64
+	kvBits        int
+	maxBatch      int
+	sloTTFT       float64
+	sloTPOT       float64
+	observer      Observer
+	seed          int64
+	captureLog    bool
+	metricsWindow int
 
 	// compiled state
 	model    model.Config
@@ -168,9 +170,25 @@ func WithEventLog(on bool) Option {
 	}
 }
 
+// WithMetricsWindow sets how many recent completions a Session's rolling
+// metrics window holds (default 64) — the population Session.Snapshot
+// digests into online TTFT/TPOT/E2E percentiles, windowed goodput, and
+// SLO attainment. Larger windows smooth the percentiles; a window at
+// least as large as the workload converges to the final ServeResult.
+func WithMetricsWindow(n int) Option {
+	return func(e *Engine) error {
+		if n <= 0 {
+			return &ConfigError{Field: "MetricsWindow", Value: n, Reason: "must be positive"}
+		}
+		e.metricsWindow = n
+		return nil
+	}
+}
+
 // WithObserver attaches a streaming Observer: Simulate sends step events,
-// Serve sends step, admission, preemption, and completion events.
-// Callbacks run inline on the simulation loop.
+// Serve and Session send step, admission, first-token, token,
+// preemption, and completion events. Callbacks run inline on the
+// simulation loop.
 func WithObserver(o Observer) Option {
 	return func(e *Engine) error {
 		if o == nil {
@@ -197,12 +215,13 @@ func WithSeed(seed int64) Option {
 // errors are *ConfigError values naming the offending field.
 func New(modelName string, opts ...Option) (*Engine, error) {
 	e := &Engine{
-		schedName: "alisa",
-		kvBits:    16,
-		maxBatch:  16,
-		sloTTFT:   10,
-		sloTPOT:   0.5,
-		seed:      1,
+		schedName:     "alisa",
+		kvBits:        16,
+		maxBatch:      16,
+		sloTTFT:       10,
+		sloTPOT:       0.5,
+		seed:          1,
+		metricsWindow: 64,
 	}
 	mc, err := model.ByName(modelName)
 	if err != nil {
@@ -295,6 +314,11 @@ func (e *Engine) Simulate(ctx context.Context, shape Shape) (*Result, error) {
 // releases all in-flight KV (the end-of-run leak check still applies) and
 // returns the partial Result — metrics over the requests that completed —
 // alongside ctx.Err().
+//
+// Serve is the offline replay adapter over the streaming session core:
+// it seeds the step-driven loop with the whole trace and drains it. For
+// interactive traffic — pushing requests mid-run, closed-loop clients,
+// online windowed metrics, graceful drain — use Open / ServeClosedLoop.
 func (e *Engine) Serve(ctx context.Context, trace TraceWorkload) (*ServeResult, error) {
 	if len(trace) == 0 {
 		return nil, &ConfigError{Field: "Trace", Value: trace, Reason: "trace must be non-empty"}

@@ -43,6 +43,30 @@ type Admission struct {
 	Batch int
 }
 
+// FirstToken reports a request producing its first output token — the
+// end of prefill after its (final) admission. A preempted request emits
+// a new FirstToken after each readmission; the last one is the TTFT the
+// metrics report.
+type FirstToken struct {
+	Request int
+	Clock   float64
+	// TTFT is arrival → this first token, queueing included.
+	TTFT float64
+}
+
+// Token reports one generated output token of one request — the
+// finest-grained lifecycle event, emitted once per active sequence per
+// decode iteration. Streaming clients subscribe to it to model
+// token-by-token delivery; everyone else leaves the callback nil, which
+// costs nothing.
+type Token struct {
+	Request int
+	Clock   float64
+	// Index is the 1-based generated-token index within the request
+	// (restarts from 1 after a preemption, like the generation itself).
+	Index int
+}
+
 // Preemption reports a sequence losing its KV under memory pressure; the
 // request restarts from its prompt on readmission.
 type Preemption struct {
@@ -60,6 +84,15 @@ type Completion struct {
 	// TTFT and TPOT are the request's final latency metrics: arrival to
 	// first token, and mean seconds per output token after the first.
 	TTFT, TPOT float64
+	// E2E is the request's end-to-end latency: arrival → completion.
+	E2E float64
+	// Output is the request's generated-token count — the tokens a
+	// windowed goodput metric credits to this completion.
+	Output int
+	// SLOMet reports whether the request met both serving SLOs — the
+	// goodput criterion, computed by the serving core with exactly the
+	// predicate the final metrics use.
+	SLOMet bool
 	// Preemptions is how many times the request was preempted and
 	// restarted before completing.
 	Preemptions int
@@ -73,6 +106,8 @@ type Completion struct {
 type Observer interface {
 	OnStep(Step)
 	OnAdmission(Admission)
+	OnFirstToken(FirstToken)
+	OnToken(Token)
 	OnPreemption(Preemption)
 	OnCompletion(Completion)
 }
@@ -82,6 +117,8 @@ type Observer interface {
 type Funcs struct {
 	Step       func(Step)
 	Admission  func(Admission)
+	FirstToken func(FirstToken)
+	Token      func(Token)
 	Preemption func(Preemption)
 	Completion func(Completion)
 }
@@ -97,6 +134,20 @@ func (f Funcs) OnStep(e Step) {
 func (f Funcs) OnAdmission(e Admission) {
 	if f.Admission != nil {
 		f.Admission(e)
+	}
+}
+
+// OnFirstToken implements Observer.
+func (f Funcs) OnFirstToken(e FirstToken) {
+	if f.FirstToken != nil {
+		f.FirstToken(e)
+	}
+}
+
+// OnToken implements Observer.
+func (f Funcs) OnToken(e Token) {
+	if f.Token != nil {
+		f.Token(e)
 	}
 }
 
@@ -145,6 +196,18 @@ func (s *synced) OnAdmission(e Admission) {
 	s.obs.OnAdmission(e)
 }
 
+func (s *synced) OnFirstToken(e FirstToken) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obs.OnFirstToken(e)
+}
+
+func (s *synced) OnToken(e Token) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obs.OnToken(e)
+}
+
 func (s *synced) OnPreemption(e Preemption) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -179,6 +242,18 @@ func (m multi) OnStep(e Step) {
 func (m multi) OnAdmission(e Admission) {
 	for _, o := range m {
 		o.OnAdmission(e)
+	}
+}
+
+func (m multi) OnFirstToken(e FirstToken) {
+	for _, o := range m {
+		o.OnFirstToken(e)
+	}
+}
+
+func (m multi) OnToken(e Token) {
+	for _, o := range m {
+		o.OnToken(e)
 	}
 }
 

@@ -1,0 +1,169 @@
+package metrics
+
+// Window is a rolling completion window for online serving metrics: it
+// keeps the last N request completions and digests them on demand into
+// the same latency percentiles the end-of-run summary reports, plus
+// windowed throughput and goodput. Streaming sessions feed it from
+// completion events and read Snapshot between turns, so tail latency is
+// observable while the simulation is still running — the online
+// counterpart of the final Result.
+//
+// A Window is single-goroutine like the serving loop that feeds it.
+// Observe is allocation-free once the ring is warm, and Snapshot reuses
+// one sort scratch across calls.
+type Window struct {
+	cap int
+
+	// Parallel ring buffers of per-completion samples; head is the slot
+	// the next completion overwrites, n the filled count.
+	clock  []float64
+	ttft   []float64
+	tpot   []float64
+	e2e    []float64
+	tokens []int
+	good   []bool
+	head   int
+	n      int
+
+	// Running aggregates over the window, maintained incrementally so
+	// Snapshot does not rescan for them.
+	totalTokens int
+	goodTokens  int
+	goodCount   int
+
+	// lin and sortScratch serve the three percentile digests of one
+	// Snapshot: the ring is linearized into lin, and SummarizeInto sorts
+	// into sortScratch. Both stabilise at the window capacity.
+	lin         []float64
+	sortScratch []float64
+}
+
+// NewWindow returns a rolling window over the last n completions. n must
+// be positive.
+func NewWindow(n int) *Window {
+	if n <= 0 {
+		panic("metrics: window size must be positive")
+	}
+	return &Window{
+		cap:    n,
+		clock:  make([]float64, n),
+		ttft:   make([]float64, n),
+		tpot:   make([]float64, n),
+		e2e:    make([]float64, n),
+		tokens: make([]int, n),
+		good:   make([]bool, n),
+	}
+}
+
+// Cap returns the window capacity in completions.
+func (w *Window) Cap() int { return w.cap }
+
+// Len returns the number of completions currently in the window.
+func (w *Window) Len() int { return w.n }
+
+// Observe records one request completion: its completion clock, final
+// latencies, generated-token count, and whether it met the SLOs (the
+// goodput criterion). The oldest completion falls out once the window is
+// full.
+func (w *Window) Observe(clock, ttft, tpot, e2e float64, tokens int, good bool) {
+	if w.n == w.cap {
+		// Evict the slot we are about to overwrite from the aggregates.
+		w.totalTokens -= w.tokens[w.head]
+		if w.good[w.head] {
+			w.goodTokens -= w.tokens[w.head]
+			w.goodCount--
+		}
+	} else {
+		w.n++
+	}
+	w.clock[w.head] = clock
+	w.ttft[w.head] = ttft
+	w.tpot[w.head] = tpot
+	w.e2e[w.head] = e2e
+	w.tokens[w.head] = tokens
+	w.good[w.head] = good
+	w.totalTokens += tokens
+	if good {
+		w.goodTokens += tokens
+		w.goodCount++
+	}
+	w.head++
+	if w.head == w.cap {
+		w.head = 0
+	}
+}
+
+// WindowSnapshot is one point-in-time digest of a rolling Window.
+type WindowSnapshot struct {
+	// Count is the completions in the window; the zero snapshot (no
+	// completions yet) has Count 0 and every other field zero.
+	Count int
+	// Oldest and Newest are the completion clocks spanning the window,
+	// in simulated seconds.
+	Oldest, Newest float64
+
+	TTFT LatencySummary
+	TPOT LatencySummary
+	E2E  LatencySummary
+
+	// Throughput and Goodput are generated tokens per second over the
+	// window span — all completions, and SLO-meeting completions only.
+	// Both are 0 while the span is degenerate (fewer than two distinct
+	// completion clocks).
+	Throughput float64
+	Goodput    float64
+	// SLOAttainment is the fraction of windowed completions that met
+	// both SLOs.
+	SLOAttainment float64
+}
+
+// Snapshot digests the current window. The three latency summaries are
+// computed exactly as the end-of-run metrics (one sort each, linear
+// interpolation), so a window as large as the run converges to the final
+// Result's percentiles.
+func (w *Window) Snapshot() WindowSnapshot {
+	if w.n == 0 {
+		return WindowSnapshot{}
+	}
+	snap := WindowSnapshot{
+		Count:         w.n,
+		SLOAttainment: float64(w.goodCount) / float64(w.n),
+	}
+	// Ring order is overwrite order; the oldest live sample sits at head
+	// when full, at 0 while filling.
+	start := 0
+	if w.n == w.cap {
+		start = w.head
+	}
+	snap.Oldest = w.clock[start]
+	newestIdx := w.head - 1
+	if newestIdx < 0 {
+		newestIdx = w.cap - 1
+	}
+	snap.Newest = w.clock[newestIdx]
+
+	snap.TTFT = w.summarizeRing(w.ttft, start)
+	snap.TPOT = w.summarizeRing(w.tpot, start)
+	snap.E2E = w.summarizeRing(w.e2e, start)
+
+	if span := snap.Newest - snap.Oldest; span > 0 {
+		snap.Throughput = float64(w.totalTokens) / span
+		snap.Goodput = float64(w.goodTokens) / span
+	}
+	return snap
+}
+
+// summarizeRing linearizes one ring buffer and digests it.
+func (w *Window) summarizeRing(ring []float64, start int) LatencySummary {
+	w.lin = w.lin[:0]
+	for i := 0; i < w.n; i++ {
+		j := start + i
+		if j >= w.cap {
+			j -= w.cap
+		}
+		w.lin = append(w.lin, ring[j])
+	}
+	var sum LatencySummary
+	sum, w.sortScratch = SummarizeInto(w.lin, w.sortScratch)
+	return sum
+}

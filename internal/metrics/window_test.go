@@ -1,0 +1,169 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWindowEmpty(t *testing.T) {
+	w := NewWindow(8)
+	if w.Cap() != 8 || w.Len() != 0 {
+		t.Fatalf("fresh window cap=%d len=%d", w.Cap(), w.Len())
+	}
+	if snap := w.Snapshot(); snap != (WindowSnapshot{}) {
+		t.Fatalf("empty window snapshot %+v, want zero value", snap)
+	}
+	assertWindowPanic(t, func() { NewWindow(0) })
+	assertWindowPanic(t, func() { NewWindow(-3) })
+}
+
+// TestWindowMatchesSummarize pins the core contract: while the window is
+// not yet full, its percentile digests are exactly Summarize over every
+// observed sample, and the aggregates match a direct recount.
+func TestWindowMatchesSummarize(t *testing.T) {
+	w := NewWindow(64)
+	rng := rand.New(rand.NewSource(3))
+	var ttft, tpot, e2e []float64
+	totalTokens, goodTokens, good := 0, 0, 0
+	clock := 0.0
+	for i := 0; i < 40; i++ {
+		clock += rng.Float64()
+		a, b, c := rng.Float64(), rng.Float64(), rng.Float64()
+		tokens := 1 + rng.Intn(100)
+		ok := rng.Intn(2) == 0
+		ttft, tpot, e2e = append(ttft, a), append(tpot, b), append(e2e, c)
+		totalTokens += tokens
+		if ok {
+			goodTokens += tokens
+			good++
+		}
+		w.Observe(clock, a, b, c, tokens, ok)
+	}
+
+	snap := w.Snapshot()
+	if snap.Count != 40 {
+		t.Fatalf("count %d, want 40", snap.Count)
+	}
+	if snap.TTFT != Summarize(ttft) || snap.TPOT != Summarize(tpot) || snap.E2E != Summarize(e2e) {
+		t.Fatalf("window digests diverged from Summarize:\nTTFT %+v vs %+v", snap.TTFT, Summarize(ttft))
+	}
+	span := snap.Newest - snap.Oldest
+	if span <= 0 {
+		t.Fatalf("span %v not positive", span)
+	}
+	if want := float64(totalTokens) / span; snap.Throughput != want {
+		t.Fatalf("throughput %v, want %v", snap.Throughput, want)
+	}
+	if want := float64(goodTokens) / span; snap.Goodput != want {
+		t.Fatalf("goodput %v, want %v", snap.Goodput, want)
+	}
+	if want := float64(good) / 40; snap.SLOAttainment != want {
+		t.Fatalf("SLO attainment %v, want %v", snap.SLOAttainment, want)
+	}
+}
+
+// TestWindowRolls pins eviction: once full, only the last N completions
+// contribute — bit-identically to summarizing that suffix directly.
+func TestWindowRolls(t *testing.T) {
+	const cap = 16
+	w := NewWindow(cap)
+	rng := rand.New(rand.NewSource(9))
+	type sample struct {
+		clock, ttft, tpot, e2e float64
+		tokens                 int
+		good                   bool
+	}
+	var all []sample
+	clock := 0.0
+	for i := 0; i < 100; i++ {
+		clock += 0.25 + rng.Float64()
+		s := sample{clock, rng.Float64(), rng.Float64(), rng.Float64(), 1 + rng.Intn(50), rng.Intn(3) > 0}
+		all = append(all, s)
+		w.Observe(s.clock, s.ttft, s.tpot, s.e2e, s.tokens, s.good)
+	}
+	if w.Len() != cap {
+		t.Fatalf("len %d, want %d", w.Len(), cap)
+	}
+
+	live := all[len(all)-cap:]
+	var ttft []float64
+	totalTokens, goodTokens, good := 0, 0, 0
+	for _, s := range live {
+		ttft = append(ttft, s.ttft)
+		totalTokens += s.tokens
+		if s.good {
+			goodTokens += s.tokens
+			good++
+		}
+	}
+	snap := w.Snapshot()
+	if snap.Count != cap {
+		t.Fatalf("count %d, want %d", snap.Count, cap)
+	}
+	if snap.Oldest != live[0].clock || snap.Newest != live[cap-1].clock {
+		t.Fatalf("span [%v, %v], want [%v, %v]", snap.Oldest, snap.Newest, live[0].clock, live[cap-1].clock)
+	}
+	if snap.TTFT != Summarize(ttft) {
+		t.Fatalf("rolled TTFT digest %+v, want %+v", snap.TTFT, Summarize(ttft))
+	}
+	span := snap.Newest - snap.Oldest
+	if snap.Throughput != float64(totalTokens)/span || snap.Goodput != float64(goodTokens)/span {
+		t.Fatalf("windowed rates diverged from recount")
+	}
+	if snap.SLOAttainment != float64(good)/cap {
+		t.Fatalf("SLO attainment %v, want %v", snap.SLOAttainment, float64(good)/cap)
+	}
+
+	// Repeated snapshots of an unchanged window are identical (the
+	// scratch reuse must not corrupt state).
+	if again := w.Snapshot(); again != snap {
+		t.Fatalf("second snapshot diverged: %+v vs %+v", again, snap)
+	}
+}
+
+// TestWindowSteadyStateAllocs pins the online-metrics hot path: once the
+// ring and scratches are warm, Observe and Snapshot allocate nothing.
+func TestWindowSteadyStateAllocs(t *testing.T) {
+	w := NewWindow(32)
+	for i := 0; i < 64; i++ {
+		w.Observe(float64(i), 0.1, 0.01, 0.5, 10, true)
+	}
+	w.Snapshot() // warm the linearization and sort scratches
+	clock := 64.0
+	allocs := testing.AllocsPerRun(100, func() {
+		clock++
+		w.Observe(clock, 0.1, 0.01, 0.5, 10, true)
+		w.Snapshot()
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Observe+Snapshot allocates %.1f per call, want 0", allocs)
+	}
+}
+
+// TestWindowSingleCompletion pins the degenerate-span behaviour: one
+// completion has no span, so the windowed rates stay 0 rather than
+// dividing by zero.
+func TestWindowSingleCompletion(t *testing.T) {
+	w := NewWindow(4)
+	w.Observe(1.5, 0.2, 0.02, 1.0, 25, true)
+	snap := w.Snapshot()
+	if snap.Count != 1 || snap.Oldest != 1.5 || snap.Newest != 1.5 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	if snap.Throughput != 0 || snap.Goodput != 0 {
+		t.Fatalf("degenerate span produced rates %v / %v, want 0", snap.Throughput, snap.Goodput)
+	}
+	if snap.TTFT.Mean != 0.2 || snap.TTFT.P99 != 0.2 || snap.SLOAttainment != 1 {
+		t.Fatalf("single-sample digest %+v", snap.TTFT)
+	}
+}
+
+func assertWindowPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

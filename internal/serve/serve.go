@@ -35,6 +35,16 @@
 // so sweeps pay no formatting at all. Run is safe to execute concurrently
 // with other Runs — each owns its state — which is what Engine.ServeMany
 // and the parallel sweep CLIs exploit. See DESIGN.md §8.
+//
+// The event loop itself is step-driven: Loop exposes the three
+// transitions — Inject (push a request onto the timeline), Advance (one
+// event-loop turn), Drain (advance to empty, then leak-check) — and Run
+// is a thin adapter that seeds a Loop with a full trace and drains it.
+// Streaming callers (the public alisa.Session) inject requests at any
+// simulated time instead, including from observer callbacks mid-run,
+// which is how closed-loop clients issue their next request on
+// completion. A Loop fed the same arrivals as a trace replays the trace
+// bit for bit. See DESIGN.md §9.
 package serve
 
 import (
@@ -117,8 +127,18 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Validate reports configuration errors before a run.
+// Validate reports configuration errors before a run. Run requires a
+// non-empty trace; a streaming Loop validates with validateStatic and
+// checks each injected request instead.
 func (c Config) Validate() error {
+	if err := c.validateStatic(); err != nil {
+		return err
+	}
+	return c.Trace.Validate(c.Model.MaxSeq)
+}
+
+// validateStatic checks every configuration field except the trace.
+func (c Config) validateStatic() error {
 	switch {
 	case c.Model.Layers <= 0:
 		return fmt.Errorf("serve: model config required")
@@ -136,7 +156,7 @@ func (c Config) Validate() error {
 			return err
 		}
 	}
-	return c.Trace.Validate(c.Model.MaxSeq)
+	return nil
 }
 
 // RequestRecord is the per-request outcome of a serving run.
@@ -247,13 +267,23 @@ type server struct {
 	// pending[pendingHead:] is the arrival-ordered wait queue. Popping
 	// advances the head; a preemption re-queues its request by stepping
 	// the head back over the slot its own admission vacated, so requeues
-	// never allocate.
+	// never allocate. Injections insert into the waiting tail only, so
+	// the vacated-slot invariant survives streaming use.
 	pending     []workload.Request
 	pendingHead int
 
+	// all records every request ever handed to the loop — the seed trace
+	// followed by injections, in insertion order — and is what finalize
+	// reports over. For a trace run it aliases cfg.Trace (capacity-capped,
+	// so injections never write into the caller's array).
+	all []workload.Request
+
 	active  []*seqState
 	records map[int]*RequestRecord
-	// recArena backs the records map with one flat allocation.
+	// recArena is the current chunk of the flat arena backing the records
+	// map. A trace run sizes one exact chunk up front; injections append,
+	// and a full chunk is replaced (never grown in place) so the pointers
+	// the map already holds stay valid.
 	recArena []RequestRecord
 
 	preemptions int
@@ -288,7 +318,10 @@ type server struct {
 	res *Result
 }
 
-// Run simulates the configured serving workload to completion.
+// Run simulates the configured serving workload to completion: it seeds
+// a Loop with the full trace and drains it — the offline replay adapter
+// over the step-driven session core, bit-identical to the monolithic
+// loop it replaced.
 //
 // Cancellation is checked once per event-loop turn: when ctx is cancelled
 // mid-run, every active sequence's KV is released (the end-of-run leak
@@ -299,6 +332,53 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	l, err := newLoop(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.Drain(ctx); err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return l.Finalize(), err
+		}
+		return nil, err
+	}
+	return l.Finalize(), nil
+}
+
+// Loop is the step-driven serving core: one discrete-event continuous-
+// batching simulation advanced a turn at a time, with requests injected
+// at any point instead of replayed from a pre-materialized trace. The
+// three transitions are Inject, Advance, and Drain; Finalize digests the
+// aggregate Result. A Loop is single-goroutine like Run — callers own
+// the sequencing — and a Loop fed a trace's arrivals through Inject
+// produces the same metrics and event stream as Run on that trace.
+type Loop struct {
+	s server
+	// err latches the first fatal or cancellation error; every transition
+	// after it reports the same failure instead of touching torn state.
+	err       error
+	finalized bool
+}
+
+// NewLoop validates the configuration and builds an idle serving loop.
+// Unlike Run, cfg.Trace is optional: a non-empty trace pre-seeds the
+// wait queue, and streaming callers start empty and Inject instead.
+func NewLoop(cfg Config) (*Loop, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validateStatic(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Trace) > 0 {
+		if err := cfg.Trace.Validate(cfg.Model.MaxSeq); err != nil {
+			return nil, err
+		}
+	}
+	return newLoop(cfg)
+}
+
+// newLoop builds the loop state from an already-validated, defaulted
+// configuration and reserves the static memory.
+func newLoop(cfg Config) (*Loop, error) {
 	factory := cfg.Factory
 	if factory == nil {
 		var err error
@@ -308,15 +388,17 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}
 
-	s := &server{
+	l := &Loop{}
+	l.s = server{
 		cfg:                      cfg,
 		captureLog:               cfg.CaptureLog,
 		sys:                      memsim.NewSystem(cfg.Profile),
 		cost:                     costmodel.New(cfg.Profile),
 		newSched:                 factory,
 		pending:                  append(workload.Trace(nil), cfg.Trace...),
+		all:                      cfg.Trace[:len(cfg.Trace):len(cfg.Trace)],
 		records:                  make(map[int]*RequestRecord, len(cfg.Trace)),
-		recArena:                 make([]RequestRecord, len(cfg.Trace)),
+		recArena:                 make([]RequestRecord, 0, len(cfg.Trace)),
 		admissionBlockedHeadroom: -1,
 		kvTokenFP16:              cfg.Model.KVBytesPerToken(2),
 		res: &Result{
@@ -324,23 +406,126 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			Breakdown: trace.NewBreakdown(),
 		},
 	}
-	for i, r := range cfg.Trace {
-		s.recArena[i] = RequestRecord{ID: r.ID, Arrival: r.Arrival, Input: r.Input, Output: r.Output}
-		s.records[r.ID] = &s.recArena[i]
+	s := &l.s
+	for _, r := range cfg.Trace {
+		s.addRecord(r)
 	}
 
 	if err := s.reserveStatic(); err != nil {
 		return nil, err
 	}
-	if err := s.loop(ctx); err != nil {
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			s.finalize()
-			return s.res, err
-		}
-		return nil, err
+	return l, nil
+}
+
+// Inject pushes one request onto the simulated timeline. The arrival may
+// lie anywhere at or after zero — in the future (the loop advances the
+// clock to it when it goes idle), or before the current clock, in which
+// case the request is immediately due and queues behind the already-
+// waiting work. Equal arrivals keep injection order. Injecting from an
+// Observer callback mid-turn is supported; that is how closed-loop
+// clients issue their next request on completion.
+func (l *Loop) Inject(req workload.Request) error {
+	if err := l.gate(); err != nil {
+		return err
 	}
-	s.finalize()
-	return s.res, nil
+	s := &l.s
+	switch {
+	case req.Input <= 0 || req.Output <= 0:
+		return fmt.Errorf("serve: request %d has non-positive lengths s=%d n=%d", req.ID, req.Input, req.Output)
+	case s.cfg.Model.MaxSeq > 0 && req.Input+req.Output > s.cfg.Model.MaxSeq:
+		return fmt.Errorf("serve: request %d sequence %d exceeds max %d", req.ID, req.Input+req.Output, s.cfg.Model.MaxSeq)
+	case req.Arrival < 0:
+		return fmt.Errorf("serve: request %d has negative arrival %v", req.ID, req.Arrival)
+	}
+	if _, dup := s.records[req.ID]; dup {
+		return fmt.Errorf("serve: duplicate request ID %d", req.ID)
+	}
+
+	// Insert into the waiting tail keeping arrival order (stable, so the
+	// admission loop's FCFS contract holds no matter when the request was
+	// pushed). Slots before pendingHead belong to the preemption-requeue
+	// invariant and are never touched.
+	s.pending = append(s.pending, req)
+	i := len(s.pending) - 1
+	for i > s.pendingHead && s.pending[i-1].Arrival > req.Arrival {
+		s.pending[i] = s.pending[i-1]
+		i--
+	}
+	s.pending[i] = req
+	s.all = append(s.all, req)
+	s.addRecord(req)
+	return nil
+}
+
+// Advance runs one event-loop turn: jump the clock to the next arrival
+// if the system is idle, admit arrived requests FCFS, then execute one
+// fused decode iteration over the active batch. It reports false with a
+// nil error when the loop is idle — nothing waiting, nothing active —
+// which is the signal to Inject more work or Drain. Cancelling ctx
+// releases every in-flight sequence's KV and latches ctx.Err().
+func (l *Loop) Advance(ctx context.Context) (bool, error) {
+	if err := l.gate(); err != nil {
+		return false, err
+	}
+	progressed, err := l.s.turn(ctx)
+	if err != nil {
+		l.err = err
+	}
+	return progressed, err
+}
+
+// Drain advances the loop until it goes idle — every injected request
+// completed — then verifies the KV accounting returned exactly to the
+// static reservations. It does not block new injections itself (the
+// loop has no intrinsic "closing" state); callers wanting a graceful
+// close stop injecting and Drain.
+func (l *Loop) Drain(ctx context.Context) error {
+	for {
+		progressed, err := l.Advance(ctx)
+		if err != nil {
+			return err
+		}
+		if !progressed {
+			if err := l.s.checkLeak(); err != nil {
+				l.err = err
+				return err
+			}
+			return nil
+		}
+	}
+}
+
+// Finalize computes the aggregate metrics over every request handed to
+// the loop, in insertion order, and returns the Result. Requests that
+// never completed (cancelled or still-pending work) are summarised out,
+// exactly as Run's cancellation path reports partial metrics. Finalize
+// is idempotent and ends the loop: every later transition fails.
+func (l *Loop) Finalize() *Result {
+	if !l.finalized {
+		l.finalized = true
+		l.s.finalize()
+	}
+	return l.s.res
+}
+
+// Clock returns the current simulated time in seconds.
+func (l *Loop) Clock() float64 { return l.s.sys.Clock() }
+
+// Pending returns the number of injected requests waiting for admission.
+func (l *Loop) Pending() int { return len(l.s.pending) - l.s.pendingHead }
+
+// Active returns the current decode-batch occupancy.
+func (l *Loop) Active() int { return len(l.s.active) }
+
+// Err returns the latched fatal or cancellation error, if any.
+func (l *Loop) Err() error { return l.err }
+
+// gate rejects transitions on a finalized or failed loop.
+func (l *Loop) gate() error {
+	if l.finalized {
+		return fmt.Errorf("serve: loop already finalized")
+	}
+	return l.err
 }
 
 // reserveStatic allocates weights and a MaxBatch worth of activations.
@@ -358,33 +543,53 @@ func (s *server) reserveStatic() error {
 	return nil
 }
 
-// loop is the discrete-event engine: admit, decode, complete, repeat.
-// Cancellation is checked once per turn; a cancelled run releases every
-// active sequence before returning so the leak check below still holds.
-func (s *server) loop(ctx context.Context) error {
-	for s.pendingHead < len(s.pending) || len(s.active) > 0 {
-		if err := ctx.Err(); err != nil {
-			return s.cancel(err)
+// addRecord allocates the per-request record from the current arena
+// chunk and indexes it; a full chunk is swapped for a fresh one (the map
+// keeps the old chunk's pointers alive and valid).
+func (s *server) addRecord(req workload.Request) *RequestRecord {
+	if len(s.recArena) == cap(s.recArena) {
+		n := 2 * cap(s.recArena)
+		if n < 16 {
+			n = 16
 		}
-		// Idle with work only in the future: jump to the next arrival.
-		if len(s.active) == 0 && s.pending[s.pendingHead].Arrival > s.sys.Clock() {
-			s.sys.Advance(s.pending[s.pendingHead].Arrival - s.sys.Clock())
-			s.admissionBlockedHeadroom = -1
-		}
-		if err := s.admit(); err != nil {
-			return err
-		}
-		if len(s.active) == 0 {
-			// Admission failed on an empty system: the head request can
-			// never run.
-			return fmt.Errorf("serve: request %d unservable: prompt KV cannot be placed on an empty system: %w",
-				s.pending[s.pendingHead].ID, s.lastAdmitErr)
-		}
-		if err := s.iterate(); err != nil {
-			return err
-		}
+		s.recArena = make([]RequestRecord, 0, n)
 	}
-	return s.checkLeak()
+	s.recArena = append(s.recArena, RequestRecord{ID: req.ID, Arrival: req.Arrival, Input: req.Input, Output: req.Output})
+	rec := &s.recArena[len(s.recArena)-1]
+	s.records[req.ID] = rec
+	return rec
+}
+
+// turn is one step of the discrete-event engine: admit, decode one
+// iteration, complete — the body of what used to be the monolithic run
+// loop. It reports false when the loop is idle (nothing waiting, nothing
+// active). Cancellation is checked once per turn; a cancelled turn
+// releases every active sequence so the leak check still holds.
+func (s *server) turn(ctx context.Context) (bool, error) {
+	if s.pendingHead >= len(s.pending) && len(s.active) == 0 {
+		return false, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return false, s.cancel(err)
+	}
+	// Idle with work only in the future: jump to the next arrival.
+	if len(s.active) == 0 && s.pending[s.pendingHead].Arrival > s.sys.Clock() {
+		s.sys.Advance(s.pending[s.pendingHead].Arrival - s.sys.Clock())
+		s.admissionBlockedHeadroom = -1
+	}
+	if err := s.admit(); err != nil {
+		return false, err
+	}
+	if len(s.active) == 0 {
+		// Admission failed on an empty system: the head request can
+		// never run.
+		return false, fmt.Errorf("serve: request %d unservable: prompt KV cannot be placed on an empty system: %w",
+			s.pending[s.pendingHead].ID, s.lastAdmitErr)
+	}
+	if err := s.iterate(); err != nil {
+		return false, err
+	}
+	return true, nil
 }
 
 // cancel tears a cancelled run down: every active sequence's KV is
@@ -427,16 +632,21 @@ func (s *server) admit() error {
 			// re-probing until memory moves.
 			return nil
 		}
+		// Pop the head before tryAdmit: its admission callbacks may
+		// Inject, and an injected arrival earlier than req's must claim
+		// a waiting-tail slot, not the slot this admission is consuming.
+		// A failed probe fires no callbacks, so stepping back is safe.
+		s.pendingHead++
 		ok, err := s.tryAdmit(req)
 		if err != nil {
 			return err
 		}
 		if !ok {
+			s.pendingHead--
 			s.admissionBlockedHeadroom = s.sys.GPUHeadroom()
 			return nil
 		}
 		s.admissionBlockedHeadroom = -1
-		s.pendingHead++
 	}
 	return nil
 }
@@ -516,6 +726,11 @@ func (s *server) tryAdmit(req workload.Request) (bool, error) {
 		s.cfg.Observer.OnAdmission(events.Admission{
 			Request: req.ID, Clock: s.sys.Clock(), Wait: rec.Admitted - req.Arrival,
 			Input: req.Input, Output: req.Output, Batch: len(s.active),
+		})
+		// Prefill just finished: this is the request's first output token
+		// (re-emitted after each readmission; the last one is the TTFT).
+		s.cfg.Observer.OnFirstToken(events.FirstToken{
+			Request: req.ID, Clock: s.sys.Clock(), TTFT: s.sys.Clock() - req.Arrival,
 		})
 	}
 	return true, nil
@@ -599,9 +814,16 @@ func (s *server) iterate() error {
 		s.res.Breakdown.Add(trace.CatQuant, t)
 	}
 
-	// Advance step counters and retire finished sequences.
+	// Advance step counters and retire finished sequences. Token events
+	// fire before the completion they may trigger, so a subscriber sees
+	// every request's lifecycle close in order: ... token, completion.
 	for _, p := range plans {
 		p.st.j++
+		if s.cfg.Observer != nil {
+			s.cfg.Observer.OnToken(events.Token{
+				Request: p.st.req.ID, Clock: s.sys.Clock(), Index: p.st.j,
+			})
+		}
 		if p.st.j >= p.st.req.Output {
 			s.complete(p.st)
 		}
@@ -670,10 +892,21 @@ func (s *server) complete(st *seqState) {
 	if s.cfg.Observer != nil {
 		s.cfg.Observer.OnCompletion(events.Completion{
 			Request: st.req.ID, Clock: s.sys.Clock(),
-			TTFT: st.rec.TTFT(), TPOT: st.rec.TPOT(), Preemptions: st.rec.Preemptions,
+			TTFT: st.rec.TTFT(), TPOT: st.rec.TPOT(),
+			E2E: s.sys.Clock() - st.rec.Arrival, Output: st.req.Output,
+			SLOMet:      s.sloMet(st.rec),
+			Preemptions: st.rec.Preemptions,
 		})
 	}
 	s.putSeq(st)
+}
+
+// sloMet is the goodput criterion: the request met both service-level
+// objectives. The one predicate serves the final metrics and the
+// completion events' SLOMet field, so online windowed goodput can never
+// diverge from the end-of-run numbers.
+func (s *server) sloMet(rec *RequestRecord) bool {
+	return rec.TTFT() <= s.cfg.SLOTTFT && rec.TPOT() <= s.cfg.SLOTPOT
 }
 
 // finalize computes the aggregate metrics from the per-request records.
@@ -686,17 +919,18 @@ func (s *server) finalize() {
 	}
 	res.PeakGPU, res.PeakCPU = s.sys.Peak()
 
-	n := len(s.cfg.Trace)
+	n := len(s.all)
 	res.Requests = make([]RequestRecord, 0, n)
 	ttft := make([]float64, 0, n)
 	tpot := make([]float64, 0, n)
 	e2e := make([]float64, 0, n)
 	totalTokens, goodTokens, good := 0, 0, 0
-	for _, r := range s.cfg.Trace {
+	for _, r := range s.all {
 		rec := s.records[r.ID]
 		if rec.Finished == 0 {
-			// Never completed — only possible on a cancelled run; partial
-			// results summarise the requests that did finish.
+			// Never completed — only possible on a cancelled or
+			// mid-stream-finalized run; partial results summarise the
+			// requests that did finish.
 			continue
 		}
 		res.Requests = append(res.Requests, *rec)
@@ -707,7 +941,7 @@ func (s *server) finalize() {
 		if rec.Finished > res.Makespan {
 			res.Makespan = rec.Finished
 		}
-		if rec.TTFT() <= s.cfg.SLOTTFT && rec.TPOT() <= s.cfg.SLOTPOT {
+		if s.sloMet(rec) {
 			good++
 			goodTokens += rec.Output
 		}

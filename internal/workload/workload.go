@@ -280,39 +280,79 @@ var serveMixture = []shapeClass{
 	{weight: 0.25, inLo: 96, inHi: 192, outLo: 256, outHi: 512},  // generation-heavy
 }
 
-// PoissonTrace returns n requests with exponential inter-arrival times at
-// the given mean rate (requests/second) and shapes drawn from the default
-// heterogeneous mixture. Deterministic in the seed.
-func PoissonTrace(n int, rate float64, seed int64) Trace {
-	if n <= 0 || rate <= 0 {
-		panic(fmt.Sprintf("workload: bad trace n=%d rate=%v", n, rate))
+// SampleShape draws one request shape — prompt and output lengths —
+// from the default heterogeneous serving mixture using the caller's RNG
+// stream. PoissonTrace draws its shapes through exactly this function,
+// so closed-loop clients sampling their next request see the same shape
+// population as an open-loop Poisson trace.
+func SampleShape(rng *rand.Rand) (input, output int) {
+	cls := pickClass(rng, serveMixture)
+	input = cls.inLo + rng.Intn(cls.inHi-cls.inLo+1)
+	output = cls.outLo + rng.Intn(cls.outHi-cls.outLo+1)
+	return input, output
+}
+
+// NewPoissonTrace returns n requests with exponential inter-arrival
+// times at the given mean rate (requests/second) and shapes drawn from
+// the default heterogeneous mixture. Deterministic in the seed. The
+// arguments are validated: a non-positive request count or arrival rate
+// is an error, never a silently empty or degenerate trace.
+func NewPoissonTrace(n int, rate float64, seed int64) (Trace, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: poisson trace needs a positive request count, got %d", n)
+	}
+	if rate <= 0 {
+		return nil, fmt.Errorf("workload: poisson trace needs a positive arrival rate, got %v req/s", rate)
 	}
 	rng := rand.New(rand.NewSource(seed))
 	t := make(Trace, 0, n)
 	clock := 0.0
 	for i := 0; i < n; i++ {
 		clock += rng.ExpFloat64() / rate
-		cls := pickClass(rng, serveMixture)
-		t = append(t, Request{
-			ID:      i,
-			Arrival: clock,
-			Input:   cls.inLo + rng.Intn(cls.inHi-cls.inLo+1),
-			Output:  cls.outLo + rng.Intn(cls.outHi-cls.outLo+1),
-		})
+		input, output := SampleShape(rng)
+		t = append(t, Request{ID: i, Arrival: clock, Input: input, Output: output})
+	}
+	return t, nil
+}
+
+// PoissonTrace is NewPoissonTrace for arguments known to be valid; it
+// panics with the validation error otherwise. Kept for the inline
+// construction the tests and benchmarks rely on.
+func PoissonTrace(n int, rate float64, seed int64) Trace {
+	t, err := NewPoissonTrace(n, rate, seed)
+	if err != nil {
+		panic(err)
 	}
 	return t
 }
 
-// UniformTrace returns n identical-shape requests at fixed spacing —
+// NewUniformTrace returns n identical-shape requests at fixed spacing —
 // the lockstep-like control workload for serving experiments and the
-// replay tests.
-func UniformTrace(n int, spacing float64, input, output int) Trace {
-	if n <= 0 || spacing < 0 {
-		panic(fmt.Sprintf("workload: bad trace n=%d spacing=%v", n, spacing))
+// replay tests. Spacing 0 (every request arriving at once) is valid; a
+// negative spacing, non-positive count, or non-positive shape is an
+// error, never a silently degenerate trace.
+func NewUniformTrace(n int, spacing float64, input, output int) (Trace, error) {
+	switch {
+	case n <= 0:
+		return nil, fmt.Errorf("workload: uniform trace needs a positive request count, got %d", n)
+	case spacing < 0:
+		return nil, fmt.Errorf("workload: uniform trace needs non-negative spacing, got %v", spacing)
+	case input <= 0 || output <= 0:
+		return nil, fmt.Errorf("workload: uniform trace needs positive request lengths, got s=%d n=%d", input, output)
 	}
 	t := make(Trace, 0, n)
 	for i := 0; i < n; i++ {
 		t = append(t, Request{ID: i, Arrival: float64(i) * spacing, Input: input, Output: output})
+	}
+	return t, nil
+}
+
+// UniformTrace is NewUniformTrace for arguments known to be valid; it
+// panics with the validation error otherwise.
+func UniformTrace(n int, spacing float64, input, output int) Trace {
+	t, err := NewUniformTrace(n, spacing, input, output)
+	if err != nil {
+		panic(err)
 	}
 	return t
 }

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"math/rand"
 	"testing"
 )
 
@@ -259,5 +260,98 @@ func TestUniformTraceAndValidate(t *testing.T) {
 	s := shuffled.Sorted()
 	if s[0].ID != 0 || s[1].ID != 1 {
 		t.Errorf("Sorted: %+v", s)
+	}
+}
+
+// TestTraceConstructorValidation is the table test over the validated
+// trace constructors: every degenerate argument reports a clear error
+// instead of silently producing an empty or degenerate trace, and the
+// panicking wrappers surface the same message.
+func TestTraceConstructorValidation(t *testing.T) {
+	poisson := []struct {
+		name string
+		n    int
+		rate float64
+	}{
+		{"zero count", 0, 2},
+		{"negative count", -4, 2},
+		{"zero rate", 16, 0},
+		{"negative rate", 16, -1.5},
+	}
+	for _, tc := range poisson {
+		t.Run("poisson/"+tc.name, func(t *testing.T) {
+			tr, err := NewPoissonTrace(tc.n, tc.rate, 1)
+			if err == nil {
+				t.Fatalf("NewPoissonTrace(%d, %v) accepted, produced %d requests", tc.n, tc.rate, len(tr))
+			}
+			if tr != nil {
+				t.Fatalf("error case returned a trace of %d requests", len(tr))
+			}
+			assertPanic(t, func() { PoissonTrace(tc.n, tc.rate, 1) })
+		})
+	}
+
+	uniform := []struct {
+		name          string
+		n             int
+		spacing       float64
+		input, output int
+	}{
+		{"zero count", 0, 0.5, 8, 8},
+		{"negative count", -1, 0.5, 8, 8},
+		{"negative spacing", 4, -0.5, 8, 8},
+		{"zero input", 4, 0.5, 0, 8},
+		{"negative input", 4, 0.5, -8, 8},
+		{"zero output", 4, 0.5, 8, 0},
+		{"negative output", 4, 0.5, 8, -8},
+	}
+	for _, tc := range uniform {
+		t.Run("uniform/"+tc.name, func(t *testing.T) {
+			tr, err := NewUniformTrace(tc.n, tc.spacing, tc.input, tc.output)
+			if err == nil {
+				t.Fatalf("NewUniformTrace(%d, %v, %d, %d) accepted, produced %d requests",
+					tc.n, tc.spacing, tc.input, tc.output, len(tr))
+			}
+			if tr != nil {
+				t.Fatalf("error case returned a trace of %d requests", len(tr))
+			}
+			assertPanic(t, func() { UniformTrace(tc.n, tc.spacing, tc.input, tc.output) })
+		})
+	}
+
+	// The valid boundary cases stay valid: spacing 0 is the simultaneous-
+	// arrival control workload the serving tests rely on.
+	if tr, err := NewUniformTrace(3, 0, 64, 32); err != nil || len(tr) != 3 {
+		t.Fatalf("spacing-0 uniform trace rejected: %v", err)
+	}
+	if tr, err := NewPoissonTrace(1, 0.25, 7); err != nil || len(tr) != 1 {
+		t.Fatalf("single-request poisson trace rejected: %v", err)
+	}
+
+	// The checked and panicking constructors produce identical traces.
+	want, err := NewPoissonTrace(32, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := PoissonTrace(32, 3, 11)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("checked and wrapper constructors diverged at %d: %+v vs %+v", i, want[i], got[i])
+		}
+	}
+}
+
+// TestSampleShapeMatchesPoissonMixture pins that SampleShape draws from
+// the same stream and mixture PoissonTrace uses: replaying a trace's RNG
+// (skipping the inter-arrival draw) reproduces its shapes exactly.
+func TestSampleShapeMatchesPoissonMixture(t *testing.T) {
+	tr := PoissonTrace(24, 2, 5)
+	rng := rand.New(rand.NewSource(5))
+	for i, r := range tr {
+		rng.ExpFloat64() // the inter-arrival draw SampleShape does not consume
+		in, out := SampleShape(rng)
+		if in != r.Input || out != r.Output {
+			t.Fatalf("request %d: SampleShape (%d,%d) != trace shape (%d,%d)", i, in, out, r.Input, r.Output)
+		}
 	}
 }

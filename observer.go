@@ -21,6 +21,16 @@ type StepEvent = events.Step
 // AdmissionEvent reports a request joining the decode batch (Serve).
 type AdmissionEvent = events.Admission
 
+// FirstTokenEvent reports a request producing its first output token —
+// the end of prefill after its (final) admission (Serve and Session).
+type FirstTokenEvent = events.FirstToken
+
+// TokenEvent reports one generated output token of one request, emitted
+// once per active sequence per decode iteration (Serve and Session).
+// Leave the callback nil unless you need token-level streaming; a nil
+// subscriber costs nothing.
+type TokenEvent = events.Token
+
 // PreemptionEvent reports a sequence losing its KV under memory pressure
 // (Serve).
 type PreemptionEvent = events.Preemption

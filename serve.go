@@ -13,14 +13,29 @@ type Request = workload.Request
 // TraceWorkload is an arrival-ordered serving workload.
 type TraceWorkload = workload.Trace
 
-// PoissonTrace samples n requests at the given mean arrival rate
-// (requests/second) with heterogeneous input/output lengths, deterministic
-// in the seed.
+// NewPoissonTrace samples n requests at the given mean arrival rate
+// (requests/second) with heterogeneous input/output lengths,
+// deterministic in the seed. The arguments are validated: a non-positive
+// request count or rate is an error, never a silently empty trace.
+func NewPoissonTrace(n int, rate float64, seed int64) (TraceWorkload, error) {
+	return workload.NewPoissonTrace(n, rate, seed)
+}
+
+// PoissonTrace is NewPoissonTrace for arguments known to be valid; it
+// panics with the validation error otherwise.
 func PoissonTrace(n int, rate float64, seed int64) TraceWorkload {
 	return workload.PoissonTrace(n, rate, seed)
 }
 
-// UniformTrace returns n identical-shape requests at fixed spacing.
+// NewUniformTrace returns n identical-shape requests at fixed spacing
+// (0 means all arrive at once). A non-positive count or shape, or a
+// negative spacing, is an error, never a silently degenerate trace.
+func NewUniformTrace(n int, spacing float64, input, output int) (TraceWorkload, error) {
+	return workload.NewUniformTrace(n, spacing, input, output)
+}
+
+// UniformTrace is NewUniformTrace for arguments known to be valid; it
+// panics with the validation error otherwise.
 func UniformTrace(n int, spacing float64, input, output int) TraceWorkload {
 	return workload.UniformTrace(n, spacing, input, output)
 }
@@ -36,7 +51,8 @@ type ServeOptions struct {
 	Model   string
 	Profile string
 	// Scheduler is the per-request KV placement policy: alisa, flexgen,
-	// vllm, hf-accelerate, gpu-only, no-cache.
+	// vllm, hf-accelerate, gpu-only, no-cache. Empty selects the default,
+	// "alisa".
 	Scheduler string
 
 	Trace TraceWorkload
@@ -61,18 +77,24 @@ type ServeResult = serve.Result
 //
 // Deprecated: Serve compiles a throwaway Engine per call. New code should
 // call New once and Engine.Serve per trace; results for accepted
-// configurations are bit-identical. Zero-valued KVBits, MaxBatch,
-// SLOTTFT, and SLOTPOT select the documented defaults, as they always
-// have. As in Simulate, KVBits is now validated up front to {8, 16}:
-// the INT4 setting is rejected rather than passed through. One behaviour
-// change rides along with the engine's event-log switch: the
-// human-readable ServeResult.EventLog is no longer captured by default
-// (it is opt-in via New + WithEventLog(true)); metrics are unaffected.
+// configurations are bit-identical. Zero-valued Scheduler, KVBits,
+// MaxBatch, SLOTTFT, and SLOTPOT select the documented defaults
+// ("alisa", 16, 16, 10 s, 0.5 s), as they always have. As in Simulate,
+// KVBits is now validated up front to {8, 16}: the INT4 setting is
+// rejected rather than passed through. One behaviour change rides along
+// with the engine's event-log switch: the human-readable
+// ServeResult.EventLog is no longer captured by default (it is opt-in
+// via New + WithEventLog(true)); metrics are unaffected.
 func Serve(opts ServeOptions) (*ServeResult, error) {
 	engineOpts := []Option{
 		maybeProfile(opts.Profile),
-		WithScheduler(opts.Scheduler),
 		WithKVSparsity(opts.KVSparsity),
+	}
+	// The legacy zero value selected the default scheduler; the compiled
+	// option rejects "", so translate only a non-empty name — like every
+	// other zero-valued field of this shim.
+	if opts.Scheduler != "" {
+		engineOpts = append(engineOpts, WithScheduler(opts.Scheduler))
 	}
 	// The legacy zero values meant "default"; the compiled options are
 	// explicit, so translate only non-zero fields.

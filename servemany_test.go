@@ -91,6 +91,8 @@ type countingObserver struct{ completions int }
 
 func (c *countingObserver) OnStep(StepEvent)             {}
 func (c *countingObserver) OnAdmission(AdmissionEvent)   {}
+func (c *countingObserver) OnFirstToken(FirstTokenEvent) {}
+func (c *countingObserver) OnToken(TokenEvent)           {}
 func (c *countingObserver) OnPreemption(PreemptionEvent) {}
 func (c *countingObserver) OnCompletion(CompletionEvent) { c.completions++ }
 

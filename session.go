@@ -1,0 +1,330 @@
+package alisa
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/metrics"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// WindowSnapshot is one point-in-time digest of a session's rolling
+// completion window: TTFT/TPOT/E2E percentiles, windowed throughput and
+// goodput, and SLO attainment over the last-N completions. See
+// Session.Snapshot.
+type WindowSnapshot = metrics.WindowSnapshot
+
+// Session is an interactive, push-based serving simulation: where Serve
+// replays a pre-materialized trace and reports only at the end, a
+// Session accepts requests at any simulated time, streams per-request
+// lifecycle events (admission, first token, per-token, preemption,
+// completion) to the engine's Observer and any Subscribe'd observers,
+// and exposes online windowed metrics between turns. It is the public
+// face of the step-driven serve.Loop core — Engine.Serve itself is a
+// thin replay adapter over the same core.
+//
+// The simulation owns a virtual clock, so the caller drives it
+// explicitly: Push requests (future arrivals included), then Advance
+// turn by turn — or Close, which gracefully drains everything still in
+// flight and returns the final ServeResult. Pushing from an observer
+// callback during Advance is supported; that is how closed-loop clients
+// issue their next request the moment the previous one completes (see
+// ClosedLoop).
+//
+// A Session is single-goroutine, like the simulation it drives: Push,
+// Advance, Snapshot, and Close must not be called concurrently. A
+// Session fed a trace's arrivals before its first Advance reproduces
+// Engine.Serve on that trace bit for bit (metrics, event stream, and —
+// with the event log on — the captured log), which the equivalence
+// suite pins.
+type Session struct {
+	eng    *Engine
+	ctx    context.Context
+	loop   *serve.Loop
+	window *metrics.Window
+	subs   []Observer
+	closed bool
+	result *ServeResult
+	err    error
+}
+
+// Open begins a streaming serving session against the compiled
+// configuration. The session starts idle at simulated time zero with no
+// requests; feed it with Push and drive it with Advance or Close.
+// Cancelling ctx mid-session releases all in-flight KV on the next
+// transition and latches ctx.Err(), mirroring Serve's cancellation
+// contract.
+func (e *Engine) Open(ctx context.Context) (*Session, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s := &Session{
+		eng:    e,
+		ctx:    ctx,
+		window: metrics.NewWindow(e.metricsWindow),
+	}
+	loop, err := serve.NewLoop(e.serveConfig(nil, sessionTap{s}))
+	if err != nil {
+		return nil, err
+	}
+	s.loop = loop
+	return s, nil
+}
+
+// Push injects one request onto the session's simulated timeline. The
+// arrival may lie in the future — the loop jumps the clock to it when
+// idle — or at/before the current clock, making the request immediately
+// due; equal arrivals keep push order (FCFS). Request IDs must be
+// unique within the session and lengths positive and within the model's
+// sequence budget. Pushing on a closed or failed session is an error.
+func (s *Session) Push(req Request) error {
+	if s.closed {
+		return fmt.Errorf("alisa: session closed")
+	}
+	return s.loop.Inject(req)
+}
+
+// Advance runs one event-loop turn — admission, one fused decode
+// iteration over the active batch, completions — and reports whether
+// any work was done. false with a nil error means the session is idle:
+// everything pushed so far has completed, and the session is waiting
+// for more Push calls (or Close). Errors (an unservable request,
+// context cancellation) are latched: the session is failed and Close
+// reports the outcome.
+func (s *Session) Advance() (bool, error) {
+	if s.closed {
+		return false, fmt.Errorf("alisa: session closed")
+	}
+	return s.loop.Advance(s.ctx)
+}
+
+// Clock returns the session's current simulated time in seconds.
+func (s *Session) Clock() float64 { return s.loop.Clock() }
+
+// Pending returns the number of pushed requests waiting for admission.
+func (s *Session) Pending() int { return s.loop.Pending() }
+
+// InFlight returns the current decode-batch occupancy.
+func (s *Session) InFlight() int { return s.loop.Active() }
+
+// Snapshot digests the rolling completion window — TTFT/TPOT/E2E
+// percentiles, windowed throughput/goodput, and SLO attainment over the
+// most recent completions (window size set by WithMetricsWindow) — the
+// online view a monitoring loop polls between turns, long before Close
+// produces the final ServeResult. The zero-value snapshot (Count 0)
+// means no request has completed yet.
+func (s *Session) Snapshot() WindowSnapshot { return s.window.Snapshot() }
+
+// Subscribe attaches an additional streaming observer for the rest of
+// the session, alongside the engine's compiled Observer. Events are
+// delivered to the engine's observer first, then to subscribers in
+// Subscribe order, inline on the simulation loop. Subscribing mid-
+// session is allowed; the new observer sees events from now on.
+func (s *Session) Subscribe(obs Observer) error {
+	if obs == nil {
+		return &ConfigError{Field: "Observer", Value: nil, Reason: "observer must be non-nil"}
+	}
+	if s.closed {
+		return fmt.Errorf("alisa: session closed")
+	}
+	s.subs = append(s.subs, obs)
+	return nil
+}
+
+// Close gracefully drains the session — no further pushes are accepted,
+// every pending and in-flight request runs to completion — verifies the
+// KV accounting returned exactly to the static reservations, and
+// returns the final ServeResult over every request the session saw, in
+// push order. If the session's context was cancelled, the partial
+// result over the requests that completed is returned alongside
+// ctx.Err(), exactly as Engine.Serve reports cancellation; other fatal
+// errors return a nil result. Close is idempotent: later calls return
+// the same outcome.
+func (s *Session) Close() (*ServeResult, error) {
+	if s.closed {
+		return s.result, s.err
+	}
+	s.closed = true
+	if err := s.loop.Drain(s.ctx); err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.result, s.err = s.loop.Finalize(), err
+		} else {
+			s.result, s.err = nil, err
+		}
+		return s.result, s.err
+	}
+	s.result = s.loop.Finalize()
+	return s.result, nil
+}
+
+// sessionTap is the session's internal observer: it feeds the rolling
+// metrics window from completions and fans every event out to the
+// engine's observer and the session's subscribers.
+type sessionTap struct{ s *Session }
+
+func (t sessionTap) OnStep(e StepEvent) {
+	if o := t.s.eng.observer; o != nil {
+		o.OnStep(e)
+	}
+	for _, o := range t.s.subs {
+		o.OnStep(e)
+	}
+}
+
+func (t sessionTap) OnAdmission(e AdmissionEvent) {
+	if o := t.s.eng.observer; o != nil {
+		o.OnAdmission(e)
+	}
+	for _, o := range t.s.subs {
+		o.OnAdmission(e)
+	}
+}
+
+func (t sessionTap) OnFirstToken(e FirstTokenEvent) {
+	if o := t.s.eng.observer; o != nil {
+		o.OnFirstToken(e)
+	}
+	for _, o := range t.s.subs {
+		o.OnFirstToken(e)
+	}
+}
+
+func (t sessionTap) OnToken(e TokenEvent) {
+	if o := t.s.eng.observer; o != nil {
+		o.OnToken(e)
+	}
+	for _, o := range t.s.subs {
+		o.OnToken(e)
+	}
+}
+
+func (t sessionTap) OnPreemption(e PreemptionEvent) {
+	if o := t.s.eng.observer; o != nil {
+		o.OnPreemption(e)
+	}
+	for _, o := range t.s.subs {
+		o.OnPreemption(e)
+	}
+}
+
+func (t sessionTap) OnCompletion(e CompletionEvent) {
+	t.s.window.Observe(e.Clock, e.TTFT, e.TPOT, e.E2E, e.Output, e.SLOMet)
+	if o := t.s.eng.observer; o != nil {
+		o.OnCompletion(e)
+	}
+	for _, o := range t.s.subs {
+		o.OnCompletion(e)
+	}
+}
+
+// ClosedLoop describes a closed-loop serving workload: Clients
+// concurrent clients, each issuing one request, waiting for its
+// completion, thinking, then issuing the next — so the offered load
+// adapts to the system's speed instead of following a fixed timeline.
+// This regime cannot be expressed as a static TraceWorkload at all:
+// every arrival after the first depends on a completion time the
+// simulation itself produces.
+type ClosedLoop struct {
+	// Clients is the number of concurrent closed-loop clients — the
+	// concurrency axis of a latency-vs-concurrency study.
+	Clients int
+	// Requests is the total request budget across all clients; the run
+	// ends when every issued request has completed.
+	Requests int
+	// ThinkTime is the mean think time in seconds between a client's
+	// completion and its next request (exponentially distributed per
+	// client, and also staggering each client's first arrival). 0 means
+	// clients re-issue immediately.
+	ThinkTime float64
+	// Seed drives the per-client shape and think-time streams; shapes
+	// come from the same heterogeneous mixture as PoissonTrace.
+	Seed int64
+}
+
+// validate reports the first invalid ClosedLoop field.
+func (cl ClosedLoop) validate() error {
+	switch {
+	case cl.Clients <= 0:
+		return &ConfigError{Field: "Clients", Value: cl.Clients, Reason: "must be positive"}
+	case cl.Requests <= 0:
+		return &ConfigError{Field: "Requests", Value: cl.Requests, Reason: "must be positive"}
+	case cl.ThinkTime < 0:
+		return &ConfigError{Field: "ThinkTime", Value: cl.ThinkTime, Reason: "must be non-negative seconds"}
+	}
+	return nil
+}
+
+// ServeClosedLoop runs a closed-loop serving simulation against the
+// compiled configuration, built entirely on the Session API: each
+// client's next request is pushed from the completion event of its
+// previous one. The result is deterministic in the ClosedLoop seed —
+// per-client RNG streams and a single-goroutine simulation — and is the
+// same ServeResult shape Serve produces, so the two load regimes
+// compare directly. Cancelling ctx returns partial metrics alongside
+// ctx.Err(), as in Serve.
+func (e *Engine) ServeClosedLoop(ctx context.Context, cl ClosedLoop) (*ServeResult, error) {
+	if err := cl.validate(); err != nil {
+		return nil, err
+	}
+	s, err := e.Open(ctx)
+	if err != nil {
+		return nil, err
+	}
+
+	rngs := make([]*rand.Rand, cl.Clients)
+	for i := range rngs {
+		rngs[i] = rand.New(rand.NewSource(cl.Seed + int64(i)*1_000_003))
+	}
+	clientOf := make([]int, 0, cl.Requests)
+	issued := 0
+	var pushErr error
+
+	// issue pushes client c's next request: think, then sample a shape
+	// from the client's own stream, arriving think seconds after now.
+	issue := func(c int, now float64) {
+		if pushErr != nil || issued >= cl.Requests {
+			return
+		}
+		rng := rngs[c]
+		wait := 0.0
+		if cl.ThinkTime > 0 {
+			wait = rng.ExpFloat64() * cl.ThinkTime
+		}
+		input, output := workload.SampleShape(rng)
+		id := issued
+		issued++
+		clientOf = append(clientOf, c)
+		if err := s.Push(Request{ID: id, Arrival: now + wait, Input: input, Output: output}); err != nil {
+			pushErr = err
+		}
+	}
+
+	if err := s.Subscribe(ObserverFuncs{Completion: func(ev CompletionEvent) {
+		// The completing request's client closes its loop: think, then
+		// issue the next request at the completion clock plus think.
+		if ev.Request >= 0 && ev.Request < len(clientOf) {
+			issue(clientOf[ev.Request], ev.Clock)
+		}
+	}}); err != nil {
+		return nil, err
+	}
+
+	for c := 0; c < cl.Clients; c++ {
+		issue(c, 0)
+	}
+
+	for pushErr == nil {
+		progressed, err := s.Advance()
+		if err != nil || !progressed {
+			break // latched errors surface from Close
+		}
+	}
+	res, err := s.Close()
+	if err == nil && pushErr != nil {
+		return res, pushErr
+	}
+	return res, err
+}

@@ -12,6 +12,8 @@
 //	alisa-bench -grid -grid-parallel 0   # grid pairs run concurrently
 //	alisa-bench -sweep-bench     # serving sweep: serial vs parallel wall
 //	                             # clock + serve.Run allocation counts
+//	alisa-bench -scale-bench     # paced scale-mode stream: wall clock,
+//	                             # steady-state allocs/request, heap
 //
 // With -json the rendered reports are suppressed and a single JSON
 // document is written to stdout instead, so the bench trajectory can be
@@ -42,6 +44,12 @@
 // verifying the parallel pass reproduces the serial results bit for bit
 // and reporting both wall clocks plus serve.Run allocation counts with
 // the event log off and on.
+//
+// With -scale-bench a single scale-mode serving stream (streaming metric
+// digests, recycled records — WithExactMetrics(-1)) is paced through the
+// public Session API with a bounded in-flight backlog (-scale-live),
+// reporting wall clock, steady-state allocations per request, and heap —
+// the public-API companion of internal/serve's BenchmarkServeMillion.
 package main
 
 import (
@@ -92,11 +100,26 @@ type sweepTiming struct {
 	AllocsPerServeRunCaptured float64 `json:"allocs_per_serve_run_captured"`
 }
 
+// scaleTiming is the -scale-bench entry in the -json report: one paced
+// scale-mode serving stream through the public Session API.
+type scaleTiming struct {
+	Requests int `json:"requests"`
+	LiveCap  int `json:"live_cap"`
+	// WallSeconds covers the whole stream; AllocsPerRequest and HeapMB
+	// are measured over the post-warm-up steady state, so they report
+	// the asymptotic per-request cost the scale rebuild pins.
+	WallSeconds       float64 `json:"wall_seconds"`
+	RequestsPerSecond float64 `json:"requests_per_second"`
+	AllocsPerRequest  float64 `json:"allocs_per_request"`
+	HeapMB            float64 `json:"heap_mb"`
+}
+
 // report is the top-level -json document.
 type report struct {
 	TotalSeconds float64      `json:"total_seconds"`
 	Experiments  []timing     `json:"experiments"`
 	ServeSweep   *sweepTiming `json:"serve_sweep,omitempty"`
+	ScaleServe   *scaleTiming `json:"scale_serve,omitempty"`
 }
 
 func main() {
@@ -110,6 +133,9 @@ func main() {
 	gridBatches := flag.String("grid-batches", "8,16,32", "comma-separated batch sizes for -grid")
 	gridParallel := flag.Int("grid-parallel", 1, "concurrent (model, scheduler) pairs for -grid (0 = GOMAXPROCS)")
 	sweepBench := flag.Bool("sweep-bench", false, "bench the serving sweep serially vs in parallel")
+	scaleBench := flag.Bool("scale-bench", false, "bench a paced scale-mode serving stream (streaming digests, O(in-flight) memory)")
+	scaleN := flag.Int("scale-n", 1_000_000, "requests for -scale-bench")
+	scaleLive := flag.Int("scale-live", 256, "in-flight cap (pending+active) for -scale-bench pacing")
 	sweepScheds := flag.String("sweep-sched", "alisa,vllm,hf-accelerate,gpu-only", "comma-separated schedulers for -sweep-bench")
 	sweepRates := flag.String("sweep-rates", "1,2,4,8", "comma-separated arrival rates for -sweep-bench")
 	sweepN := flag.Int("sweep-n", 48, "requests per -sweep-bench cell")
@@ -136,8 +162,8 @@ func main() {
 		runners = []experiments.Runner{r}
 	case *all:
 		runners = experiments.All()
-	case *sweepBench:
-		// sweep-bench alone: no experiments, just the sweep section.
+	case *sweepBench, *scaleBench:
+		// bench modes alone: no experiments, just their sections.
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -158,6 +184,13 @@ func main() {
 			fatal(err)
 		}
 		rep.ServeSweep = st
+	}
+	if *scaleBench {
+		st, err := runScaleBench(*scaleN, *scaleLive, *asJSON)
+		if err != nil {
+			fatal(err)
+		}
+		rep.ScaleServe = st
 	}
 	rep.TotalSeconds = time.Since(start).Seconds()
 	if *asJSON {
@@ -380,6 +413,89 @@ func runSweepBench(scheds, rates string, n, workers int, quiet bool) (*sweepTimi
 	}
 	if !identical {
 		return st, fmt.Errorf("parallel sweep diverged from serial results")
+	}
+	return st, nil
+}
+
+// runScaleBench streams n requests through one scale-mode Session
+// (WithExactMetrics(-1): streaming digests, recycled records) under
+// paced injection — the queue is topped up to liveCap and advanced until
+// it half-drains, an open-loop client with bounded backlog. It measures
+// wall clock over the whole stream and the steady-state allocation rate
+// past a warm-up prefix, the public-API view of BenchmarkServeMillion.
+func runScaleBench(n, liveCap int, quiet bool) (*scaleTiming, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("-scale-n must be positive, got %d", n)
+	}
+	if liveCap < 2 {
+		return nil, fmt.Errorf("-scale-live must be at least 2, got %d", liveCap)
+	}
+	eng, err := alisa.New("opt-6.7b",
+		alisa.WithScheduler("gpu-only"), alisa.WithMaxBatch(8), alisa.WithExactMetrics(-1))
+	if err != nil {
+		return nil, err
+	}
+	s, err := eng.Open(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	pace := func(next, until int) (int, error) {
+		for next < until {
+			for next < until && s.Pending()+s.InFlight() < liveCap {
+				if err := s.Push(alisa.Request{ID: next, Arrival: s.Clock(), Input: 32, Output: 4}); err != nil {
+					return next, err
+				}
+				next++
+			}
+			for s.Pending()+s.InFlight() > liveCap/2 {
+				if _, err := s.Advance(); err != nil {
+					return next, err
+				}
+			}
+		}
+		return next, nil
+	}
+
+	warm := 4096
+	if warm > n/2 {
+		warm = n / 2
+	}
+	start := time.Now()
+	next, err := pace(0, warm)
+	if err != nil {
+		return nil, err
+	}
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	if _, err := pace(next, n); err != nil {
+		return nil, err
+	}
+	runtime.ReadMemStats(&m1)
+	res, err := s.Close()
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(start).Seconds()
+	if res.Completed != n {
+		return nil, fmt.Errorf("scale bench completed %d of %d requests", res.Completed, n)
+	}
+
+	st := &scaleTiming{
+		Requests:          n,
+		LiveCap:           liveCap,
+		WallSeconds:       wall,
+		RequestsPerSecond: float64(n) / wall,
+		AllocsPerRequest:  float64(m1.Mallocs-m0.Mallocs) / float64(n-warm),
+		HeapMB:            float64(m1.HeapAlloc) / (1 << 20),
+	}
+	if !quiet {
+		fmt.Printf("== scale serve bench — %d requests, in-flight cap %d\n\n", n, liveCap)
+		tb := textfmt.NewTable("requests", "wall", "req/s", "allocs/req", "heap")
+		tb.AddRow(fmt.Sprint(n), fmt.Sprintf("%.3fs", wall),
+			fmt.Sprintf("%.0f", st.RequestsPerSecond),
+			fmt.Sprintf("%.2f", st.AllocsPerRequest),
+			fmt.Sprintf("%.1f MB", st.HeapMB))
+		fmt.Println(tb.String())
 	}
 	return st, nil
 }

@@ -68,6 +68,7 @@ type Engine struct {
 	seed          int64
 	captureLog    bool
 	metricsWindow int
+	exactMetrics  int
 
 	// compiled state
 	model    model.Config
@@ -181,6 +182,25 @@ func WithMetricsWindow(n int) Option {
 			return &ConfigError{Field: "MetricsWindow", Value: n, Reason: "must be positive"}
 		}
 		e.metricsWindow = n
+		return nil
+	}
+}
+
+// WithExactMetrics sets the serving loop's exact-metrics threshold: runs
+// whose total request count stays at or below n keep every per-request
+// record and report metrics bit-identical to what Serve has always
+// produced, while the first request past n switches the run to scale
+// mode — completions stream into fixed-size quantile digests, records
+// are recycled immediately, and retained memory tracks the live backlog
+// instead of the trace length (ServeResult.Requests is then nil and the
+// latency percentiles are sketch estimates within a documented
+// rank-error bound; Mean and Max stay exact). 0 — the default — selects
+// serve.DefaultExactMetrics (65536), which keeps every realistic
+// benchmark trace on the exact path; negative streams from the first
+// request. See DESIGN.md §10.
+func WithExactMetrics(n int) Option {
+	return func(e *Engine) error {
+		e.exactMetrics = n
 		return nil
 	}
 }
@@ -334,8 +354,9 @@ func (e *Engine) serveConfig(trace TraceWorkload, obs Observer) serve.Config {
 		Trace:      trace,
 		KVSparsity: e.kvSparsity, KVBits: e.kvBits,
 		MaxBatch: e.maxBatch, SLOTTFT: e.sloTTFT, SLOTPOT: e.sloTPOT,
-		Observer:   obs,
-		CaptureLog: e.captureLog,
+		Observer:     obs,
+		CaptureLog:   e.captureLog,
+		ExactMetrics: e.exactMetrics,
 	}
 }
 

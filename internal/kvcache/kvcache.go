@@ -51,6 +51,12 @@ func NewTokenStore() *TokenStore { return &TokenStore{} }
 // Len returns the number of token positions tracked (including deleted).
 func (s *TokenStore) Len() int { return len(s.loc) }
 
+// Clone returns an independent deep copy of the store, for scheduler
+// forking.
+func (s *TokenStore) Clone() *TokenStore {
+	return &TokenStore{loc: append([]Location(nil), s.loc...), counts: s.counts}
+}
+
 // Append adds a new token position at the given location and returns its
 // index.
 func (s *TokenStore) Append(loc Location) int {
@@ -185,6 +191,12 @@ func NewBlockStore(blockSize int) *BlockStore {
 // BlockSize returns the tokens per block.
 func (b *BlockStore) BlockSize() int { return b.blockSize }
 
+// Clone returns an independent deep copy of the store, for scheduler
+// forking.
+func (b *BlockStore) Clone() *BlockStore {
+	return &BlockStore{blockSize: b.blockSize, tokens: b.tokens, blocks: append([]Location(nil), b.blocks...)}
+}
+
 // Tokens returns the number of tokens stored.
 func (b *BlockStore) Tokens() int { return b.tokens }
 
@@ -275,6 +287,12 @@ func NewHeadStore(heads, gpuHeads int) *HeadStore {
 
 // Append adds one token position.
 func (h *HeadStore) Append() { h.tokens++ }
+
+// Clone returns an independent copy of the store, for scheduler forking.
+func (h *HeadStore) Clone() *HeadStore {
+	c := *h
+	return &c
+}
 
 // Reset empties the store for reuse after its sequence completes.
 func (h *HeadStore) Reset() { h.tokens = 0 }

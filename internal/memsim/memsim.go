@@ -194,6 +194,15 @@ func NewSystem(p Profile) *System {
 	return &System{Prof: p}
 }
 
+// Clone returns an independent copy of the system — clock, usage, peaks,
+// and transfer counters — advancing either side leaves the other
+// untouched. System is plain value state, so a fork is one copy; the
+// serving loop's Snapshot relies on that.
+func (s *System) Clone() *System {
+	c := *s
+	return &c
+}
+
 // Clock returns the simulated time in seconds.
 func (s *System) Clock() float64 { return s.clock }
 

@@ -224,8 +224,22 @@ func GeoMean(v []float64) float64 {
 	return math.Exp(s / float64(len(v)))
 }
 
-// Percentile returns the p-th percentile (0..100) of v using linear
-// interpolation between order statistics.
+// Percentile returns the p-th percentile of v using linear interpolation
+// between order statistics. v is not modified. The contract, pinned by
+// the edge-case table tests:
+//
+//   - Empty input returns 0 (there is no distribution to ask about).
+//   - p ≤ 0 returns the minimum and p ≥ 100 the maximum; p is
+//     effectively clamped to [0, 100], never an error.
+//   - A single-element or all-equal input returns that value for every p.
+//   - Otherwise the result interpolates linearly between the two order
+//     statistics straddling rank p/100·(n−1), so p=50 of [1, 2] is 1.5.
+//   - NaN samples are not rejected: sort.Float64s orders NaN before
+//     every number, so NaNs occupy the lowest ranks and low percentiles
+//     (and interpolations touching them) come back NaN. Callers with
+//     possibly-NaN data must filter first — the serving pipeline never
+//     produces NaN latencies, and the streaming sketch path rejects NaN
+//     outright.
 func Percentile(v []float64, p float64) float64 {
 	if len(v) == 0 {
 		return 0

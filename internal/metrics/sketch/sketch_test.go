@@ -1,0 +1,309 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// rankError returns how far the requested rank falls outside the rank
+// interval the value v covers in sorted: [#{x < v}, #{x ≤ v}]. A value
+// with duplicates covers the whole tie run, so answering it is exact for
+// any rank inside the run — the standard KLL error convention.
+func rankError(sorted []float64, v, wantRank float64) float64 {
+	lo := float64(sort.SearchFloat64s(sorted, v))
+	hi := float64(sort.SearchFloat64s(sorted, math.Nextafter(v, math.Inf(1))))
+	switch {
+	case wantRank < lo:
+		return lo - wantRank
+	case wantRank > hi:
+		return wantRank - hi
+	}
+	return 0
+}
+
+// TestSketchExactWhileSmall pins that a sketch holding fewer values than
+// one compaction answers exactly.
+func TestSketchExactWhileSmall(t *testing.T) {
+	s := NewSketch(64)
+	vals := []float64{5, 1, 4, 2, 3}
+	for _, v := range vals {
+		s.Observe(v)
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Errorf("q0 = %v, want 1", got)
+	}
+	if got := s.Quantile(1); got != 5 {
+		t.Errorf("q1 = %v, want 5", got)
+	}
+	if got := s.Quantile(0.5); got != 3 {
+		t.Errorf("q0.5 = %v, want 3", got)
+	}
+	if s.Count() != 5 || s.Min() != 1 || s.Max() != 5 {
+		t.Errorf("count/min/max = %d/%v/%v", s.Count(), s.Min(), s.Max())
+	}
+}
+
+// TestSketchEmptyAndEdgeQuantiles pins the documented edge contract.
+func TestSketchEmptyAndEdgeQuantiles(t *testing.T) {
+	s := NewSketch(0)
+	if s.K() != DefaultK {
+		t.Fatalf("default K = %d", s.K())
+	}
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := s.Quantile(q); got != 0 {
+			t.Errorf("empty sketch q%v = %v, want 0", q, got)
+		}
+	}
+	s.Observe(7)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 7 {
+			t.Errorf("single-element q%v = %v, want 7", q, got)
+		}
+	}
+}
+
+// TestSketchDeterministicReplay pins the deterministic-offset design: the
+// same stream must produce bit-identical quantiles on every replay.
+func TestSketchDeterministicReplay(t *testing.T) {
+	run := func() []float64 {
+		s := NewSketch(128)
+		rng := rand.New(rand.NewSource(11))
+		for i := 0; i < 50_000; i++ {
+			s.Observe(rng.ExpFloat64())
+		}
+		return []float64{s.Quantile(0.5), s.Quantile(0.95), s.Quantile(0.99)}
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at quantile %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSketchNaNPanics pins the NaN rejection contract.
+func TestSketchNaNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NaN observation did not panic")
+		}
+	}()
+	NewSketch(32).Observe(math.NaN())
+}
+
+// streamShapes are the random trace shapes of the rank-error property
+// suite: heavy-tailed, uniform, bimodal, constant-heavy, and sorted
+// streams, each stressing the compactors differently.
+var streamShapes = []struct {
+	name string
+	gen  func(rng *rand.Rand, n int) []float64
+}{
+	{"exponential", func(rng *rand.Rand, n int) []float64 {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.ExpFloat64()
+		}
+		return v
+	}},
+	{"uniform", func(rng *rand.Rand, n int) []float64 {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.Float64() * 100
+		}
+		return v
+	}},
+	{"bimodal", func(rng *rand.Rand, n int) []float64 {
+		v := make([]float64, n)
+		for i := range v {
+			if rng.Intn(10) == 0 {
+				v[i] = 50 + rng.NormFloat64()
+			} else {
+				v[i] = 1 + rng.Float64()
+			}
+		}
+		return v
+	}},
+	{"mostly-equal", func(rng *rand.Rand, n int) []float64 {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = 0.25
+			if rng.Intn(100) == 0 {
+				v[i] = rng.Float64()
+			}
+		}
+		return v
+	}},
+	{"ascending", func(rng *rand.Rand, n int) []float64 {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = float64(i) + rng.Float64()
+		}
+		return v
+	}},
+}
+
+// TestSketchRankErrorProperty is the property suite of the acceptance
+// criterion: across random trace shapes, sizes, and seeds, every
+// quantile answer's true rank must lie within the documented
+// RankErrorBound of the requested rank. Cases run concurrently on
+// GOMAXPROCS workers (CI runs this under -race at GOMAXPROCS=4), which
+// also proves independent sketches share no hidden state.
+func TestSketchRankErrorProperty(t *testing.T) {
+	type tcase struct {
+		shape int
+		n     int
+		seed  int64
+		k     int
+	}
+	var cases []tcase
+	for shape := range streamShapes {
+		for _, n := range []int{500, 5_000, 60_000} {
+			for seed := int64(1); seed <= 3; seed++ {
+				cases = append(cases, tcase{shape, n, seed, 256})
+			}
+		}
+	}
+	quantiles := []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 4 {
+		workers = 4
+	}
+	var wg sync.WaitGroup
+	ch := make(chan tcase)
+	var mu sync.Mutex
+	var failures []string
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tc := range ch {
+				sh := streamShapes[tc.shape]
+				vals := sh.gen(rand.New(rand.NewSource(tc.seed)), tc.n)
+				s := NewSketch(tc.k)
+				for _, v := range vals {
+					s.Observe(v)
+				}
+				sorted := append([]float64(nil), vals...)
+				sort.Float64s(sorted)
+				bound := s.RankErrorBound(tc.n)
+				for _, q := range quantiles {
+					got := s.Quantile(q)
+					wantRank := q * float64(tc.n-1)
+					if d := rankError(sorted, got, wantRank); d > bound {
+						mu.Lock()
+						failures = append(failures, sh.name+": rank error exceeds bound")
+						t.Errorf("%s n=%d seed=%d q=%v: answer %v misses rank %.0f by %.0f (bound %.0f)",
+							sh.name, tc.n, tc.seed, q, got, wantRank, d, bound)
+						mu.Unlock()
+					}
+				}
+			}
+		}()
+	}
+	for _, tc := range cases {
+		ch <- tc
+	}
+	close(ch)
+	wg.Wait()
+	if len(failures) > 0 {
+		t.Fatalf("%d rank-error violations", len(failures))
+	}
+}
+
+// TestSketchMerge pins mergeability: merging two sketches must summarize
+// the concatenated stream within the combined bound, and K mismatches
+// must be rejected.
+func TestSketchMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a, b := NewSketch(256), NewSketch(256)
+	var all []float64
+	for i := 0; i < 20_000; i++ {
+		v := rng.ExpFloat64() * 10
+		all = append(all, v)
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != uint64(len(all)) {
+		t.Fatalf("merged count %d, want %d", a.Count(), len(all))
+	}
+	sort.Float64s(all)
+	n := len(all)
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		got := a.Quantile(q)
+		wantRank := q * float64(n-1)
+		if d := rankError(all, got, wantRank); d > 2*a.RankErrorBound(n) {
+			t.Errorf("merged q%v: rank off by %.0f (bound %.0f)", q, d, a.RankErrorBound(n))
+		}
+	}
+	if err := a.Merge(NewSketch(64)); err == nil {
+		t.Fatal("K mismatch merge accepted")
+	}
+	if err := a.Merge(NewSketch(256)); err != nil {
+		t.Fatalf("empty merge: %v", err)
+	}
+}
+
+// TestSketchCloneIndependence pins Clone: the copy answers identically,
+// and further observations into either side do not affect the other.
+func TestSketchCloneIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s := NewSketch(128)
+	for i := 0; i < 10_000; i++ {
+		s.Observe(rng.Float64())
+	}
+	c := s.Clone()
+	for _, q := range []float64{0.05, 0.5, 0.95} {
+		if s.Quantile(q) != c.Quantile(q) {
+			t.Fatalf("clone diverged at q%v before further observations", q)
+		}
+	}
+	// Feed both the same continuation: they must stay identical (this is
+	// what fork-then-advance vs straight-line relies on).
+	rng2 := rand.New(rand.NewSource(10))
+	for i := 0; i < 10_000; i++ {
+		v := rng2.Float64() * 2
+		s.Observe(v)
+		c.Observe(v)
+	}
+	for _, q := range []float64{0.05, 0.5, 0.95, 0.999} {
+		if s.Quantile(q) != c.Quantile(q) {
+			t.Fatalf("clone diverged at q%v after identical continuations", q)
+		}
+	}
+	before := s.Quantile(0.5)
+	for i := 0; i < 5_000; i++ {
+		c.Observe(1e9)
+	}
+	if s.Quantile(0.5) != before {
+		t.Fatal("observing into the clone mutated the original")
+	}
+	if s.RetainedItems() == 0 || c.RetainedItems() == 0 {
+		t.Fatal("retained items unexpectedly zero")
+	}
+}
+
+// BenchmarkSketchObserve measures the steady-state per-observation cost.
+func BenchmarkSketchObserve(b *testing.B) {
+	s := NewSketch(256)
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 1<<16)
+	for i := range vals {
+		vals[i] = rng.ExpFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Observe(vals[i&(len(vals)-1)])
+	}
+}

@@ -1,0 +1,174 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestPercentileEdgeCases is the table pinning Percentile's documented
+// contract: empty, single-element, all-equal, clamped p, interpolation,
+// and NaN propagation.
+func TestPercentileEdgeCases(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		v    []float64
+		p    float64
+		want float64 // compared with == except NaN, checked via IsNaN
+	}{
+		{"empty", nil, 50, 0},
+		{"empty-zero-len", []float64{}, 99, 0},
+		{"single-mid", []float64{3.5}, 50, 3.5},
+		{"single-low", []float64{3.5}, 0, 3.5},
+		{"single-high", []float64{3.5}, 100, 3.5},
+		{"single-clamped-negative", []float64{3.5}, -10, 3.5},
+		{"single-clamped-over", []float64{3.5}, 250, 3.5},
+		{"all-equal-mid", []float64{2, 2, 2, 2}, 50, 2},
+		{"all-equal-tail", []float64{2, 2, 2, 2}, 99, 2},
+		{"two-interpolated", []float64{1, 2}, 50, 1.5},
+		{"unsorted-input", []float64{4, 1, 3, 2}, 0, 1},
+		{"unsorted-max", []float64{4, 1, 3, 2}, 100, 4},
+		{"clamp-low", []float64{1, 2, 3}, -5, 1},
+		{"clamp-high", []float64{1, 2, 3}, 105, 3},
+		{"nan-low-rank", []float64{nan, 1, 2, 3}, 0, nan},
+		{"nan-high-rank-clean", []float64{nan, 1, 2, 3}, 100, 3},
+		{"all-nan", []float64{nan, nan}, 50, nan},
+	}
+	for _, tc := range cases {
+		got := Percentile(tc.v, tc.p)
+		if math.IsNaN(tc.want) {
+			if !math.IsNaN(got) {
+				t.Errorf("%s: Percentile(%v) = %v, want NaN", tc.name, tc.p, got)
+			}
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s: Percentile(%v, %v) = %v, want %v", tc.name, tc.v, tc.p, got, tc.want)
+		}
+	}
+	// The contract also promises v is never modified, even with NaN.
+	v := []float64{3, math.NaN(), 1}
+	_ = Percentile(v, 50)
+	if v[0] != 3 || !math.IsNaN(v[1]) || v[2] != 1 {
+		t.Errorf("Percentile mutated its input: %v", v)
+	}
+}
+
+// TestLatencyDigestMatchesSummarize checks the digest against the exact
+// path: Mean/Max identical, percentiles within the sketch's value error
+// implied by its rank bound.
+func TestLatencyDigestMatchesSummarize(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, n := range []int{1, 10, 1000, 30_000} {
+		v := make([]float64, n)
+		d := NewLatencyDigest(256)
+		for i := range v {
+			v[i] = rng.ExpFloat64() * 0.3
+			d.Observe(v[i])
+		}
+		exact := Summarize(v)
+		got := d.Summary()
+		if math.Abs(got.Mean-exact.Mean) > 1e-9*math.Max(1, exact.Mean) {
+			t.Errorf("n=%d: digest mean %v, exact %v", n, got.Mean, exact.Mean)
+		}
+		if got.Max != exact.Max {
+			t.Errorf("n=%d: digest max %v, exact %v", n, got.Max, exact.Max)
+		}
+		// Rank bound → value tolerance: the p-th answer must lie between
+		// the exact percentiles at p ± bound ranks.
+		bound := 3 * float64(n) / 256
+		if bound < 1 {
+			bound = 1
+		}
+		for _, p := range []struct {
+			pct float64
+			got float64
+		}{{50, got.P50}, {95, got.P95}, {99, got.P99}} {
+			loRank := math.Max(0, p.pct/100*float64(n-1)-bound)
+			hiRank := math.Min(float64(n-1), p.pct/100*float64(n-1)+bound)
+			lo := Percentile(v, loRank/math.Max(1, float64(n-1))*100)
+			hi := Percentile(v, hiRank/math.Max(1, float64(n-1))*100)
+			if p.got < lo || p.got > hi {
+				t.Errorf("n=%d p%v: digest %v outside exact envelope [%v, %v]", n, p.pct, p.got, lo, hi)
+			}
+		}
+	}
+}
+
+// TestLatencyDigestEmptyAndClone pins the zero summary and clone
+// independence.
+func TestLatencyDigestEmptyAndClone(t *testing.T) {
+	d := NewLatencyDigest(0)
+	if s := d.Summary(); s != (LatencySummary{}) {
+		t.Fatalf("empty digest summary %+v", s)
+	}
+	for i := 0; i < 5000; i++ {
+		d.Observe(float64(i % 97))
+	}
+	c := d.Clone()
+	if c.Summary() != d.Summary() {
+		t.Fatal("clone summary diverged")
+	}
+	before := d.Summary()
+	for i := 0; i < 5000; i++ {
+		c.Observe(1e6)
+	}
+	if d.Summary() != before {
+		t.Fatal("observing into clone mutated original")
+	}
+	if d.RetainedItems() == 0 {
+		t.Fatal("retained items unexpectedly zero")
+	}
+}
+
+// TestLatencyDigestMerge pins mergeability across shards.
+func TestLatencyDigestMerge(t *testing.T) {
+	a, b := NewLatencyDigest(256), NewLatencyDigest(256)
+	whole := NewLatencyDigest(256)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 10_000; i++ {
+		v := rng.Float64() * 10
+		whole.Observe(v)
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != whole.Count() {
+		t.Fatalf("merged count %d, want %d", a.Count(), whole.Count())
+	}
+	as, ws := a.Summary(), whole.Summary()
+	if math.Abs(as.Mean-ws.Mean) > 1e-9 || as.Max != ws.Max {
+		t.Fatalf("merged mean/max %v/%v, whole %v/%v", as.Mean, as.Max, ws.Mean, ws.Max)
+	}
+	if err := a.Merge(NewLatencyDigest(64)); err == nil {
+		t.Fatal("capacity mismatch merge accepted")
+	}
+}
+
+// TestWindowClone pins Window.Clone: identical snapshots, then full
+// independence under further observations.
+func TestWindowClone(t *testing.T) {
+	w := NewWindow(8)
+	for i := 0; i < 13; i++ { // wrap the ring
+		w.Observe(float64(i), 0.1, 0.01, 0.5+float64(i), 10, i%2 == 0)
+	}
+	c := w.Clone()
+	if c.Snapshot() != w.Snapshot() {
+		t.Fatal("clone snapshot diverged")
+	}
+	before := w.Snapshot()
+	c.Observe(100, 9, 9, 9, 1000, false)
+	if w.Snapshot() != before {
+		t.Fatal("observing into clone mutated original window")
+	}
+	w.Observe(200, 1, 1, 1, 5, true)
+	if c.Len() != 8 || c.Snapshot().Newest == 200 {
+		t.Fatal("observing into original leaked into clone")
+	}
+}

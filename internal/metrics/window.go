@@ -153,6 +153,27 @@ func (w *Window) Snapshot() WindowSnapshot {
 	return snap
 }
 
+// Clone returns an independent deep copy of the window: the copy
+// snapshots identically and further observations into either side do not
+// affect the other. Used by Session.Fork.
+func (w *Window) Clone() *Window {
+	c := &Window{
+		cap:         w.cap,
+		clock:       append([]float64(nil), w.clock...),
+		ttft:        append([]float64(nil), w.ttft...),
+		tpot:        append([]float64(nil), w.tpot...),
+		e2e:         append([]float64(nil), w.e2e...),
+		tokens:      append([]int(nil), w.tokens...),
+		good:        append([]bool(nil), w.good...),
+		head:        w.head,
+		n:           w.n,
+		totalTokens: w.totalTokens,
+		goodTokens:  w.goodTokens,
+		goodCount:   w.goodCount,
+	}
+	return c
+}
+
 // summarizeRing linearizes one ring buffer and digests it.
 func (w *Window) summarizeRing(ring []float64, start int) LatencySummary {
 	w.lin = w.lin[:0]

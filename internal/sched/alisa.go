@@ -62,6 +62,16 @@ func NewAlisaManual(beta float64, p2 int, recompute bool) *Alisa {
 // Name implements Scheduler.
 func (a *Alisa) Name() string { return "alisa" }
 
+// CloneScheduler implements Cloner: parameters, phase markers, and the
+// token store are deep-copied.
+func (a *Alisa) CloneScheduler() Scheduler {
+	c := *a
+	if a.store != nil {
+		c.store = a.store.Clone()
+	}
+	return &c
+}
+
 // Params returns the parameters in effect after Init.
 func (a *Alisa) Params() Params { return a.params }
 

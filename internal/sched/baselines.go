@@ -25,6 +25,15 @@ func NewFlexGen() *FlexGen { return &FlexGen{GPUHeads: -1} }
 // Name implements Scheduler.
 func (f *FlexGen) Name() string { return "flexgen" }
 
+// CloneScheduler implements Cloner.
+func (f *FlexGen) CloneScheduler() Scheduler {
+	c := *f
+	if f.store != nil {
+		c.store = f.store.Clone()
+	}
+	return &c
+}
+
 // GPUFraction returns the static GPU share chosen at Init.
 func (f *FlexGen) GPUFraction() float64 { return f.store.GPUFraction() }
 
@@ -132,6 +141,15 @@ func NewVLLM() *VLLM { return &VLLM{BlockSize: 16} }
 
 // Name implements Scheduler.
 func (v *VLLM) Name() string { return "vllm" }
+
+// CloneScheduler implements Cloner.
+func (v *VLLM) CloneScheduler() Scheduler {
+	c := *v
+	if v.store != nil {
+		c.store = v.store.Clone()
+	}
+	return &c
+}
 
 // Waves implements WavePlanner: admit as many sequences as the GPU can
 // hold at their *average* footprint. Continuous batching overlaps
@@ -244,6 +262,12 @@ func NewDeepSpeed() *DeepSpeed { return &DeepSpeed{} }
 // Name implements Scheduler.
 func (d *DeepSpeed) Name() string { return "deepspeed-zero" }
 
+// CloneScheduler implements Cloner.
+func (d *DeepSpeed) CloneScheduler() Scheduler {
+	c := *d
+	return &c
+}
+
 // WeightsOnCPU reports that this scheduler keeps weights off the GPU; the
 // engine skips the GPU weight reservation and charges streaming instead.
 func (d *DeepSpeed) WeightsOnCPU() bool { return true }
@@ -309,6 +333,12 @@ func NewHFAccelerate() *HFAccelerate { return &HFAccelerate{} }
 
 // Name implements Scheduler.
 func (h *HFAccelerate) Name() string { return "hf-accelerate" }
+
+// CloneScheduler implements Cloner.
+func (h *HFAccelerate) CloneScheduler() Scheduler {
+	c := *h
+	return &c
+}
 
 // Init implements Scheduler: prefill KV goes straight to CPU.
 func (h *HFAccelerate) Init(ctx *Context) error {

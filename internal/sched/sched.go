@@ -134,6 +134,15 @@ type WavePlanner interface {
 	Waves(ctx *Context) ([]int, error)
 }
 
+// Cloner is implemented by schedulers whose per-sequence state can be
+// deep-copied mid-run: CloneScheduler returns an independent instance
+// that, driven through the same Step sequence against a cloned system,
+// behaves identically to the original — the requirement behind the
+// serving loop's Snapshot/Fork. Every built-in scheduler implements it.
+type Cloner interface {
+	CloneScheduler() Scheduler
+}
+
 // Releaser frees every byte a scheduler's sequence holds on the simulated
 // system — the free-on-completion (and preemption) hook of the serving
 // loop. Release must be exact: after any Init or Step return, successful

@@ -15,6 +15,12 @@ func NewGPUOnly() *GPUOnly { return &GPUOnly{} }
 // Name implements Scheduler.
 func (g *GPUOnly) Name() string { return "gpu-only" }
 
+// CloneScheduler implements Cloner.
+func (g *GPUOnly) CloneScheduler() Scheduler {
+	c := *g
+	return &c
+}
+
 // Init implements Scheduler.
 func (g *GPUOnly) Init(ctx *Context) error {
 	g.tokens = 0
@@ -58,6 +64,12 @@ func NewNoCache() *NoCache { return &NoCache{} }
 // Name implements Scheduler.
 func (n *NoCache) Name() string { return "no-cache" }
 
+// CloneScheduler implements Cloner.
+func (n *NoCache) CloneScheduler() Scheduler {
+	c := *n
+	return &c
+}
+
 // Init implements Scheduler; nothing is cached.
 func (n *NoCache) Init(ctx *Context) error {
 	n.tokens = ctx.Input
@@ -98,6 +110,12 @@ func NewPCIeSplit(cpuFrac float64) *PCIeSplit {
 
 // Name implements Scheduler.
 func (p *PCIeSplit) Name() string { return "pcie-split" }
+
+// CloneScheduler implements Cloner.
+func (p *PCIeSplit) CloneScheduler() Scheduler {
+	c := *p
+	return &c
+}
 
 // Init implements Scheduler.
 func (p *PCIeSplit) Init(ctx *Context) error {

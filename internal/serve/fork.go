@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/events"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// Snapshot is a frozen deep copy of a running Loop, taken between turns.
+// It is inert — it has no transitions of its own — and exists to be
+// forked: each Fork call clones the snapshot again, so any number of
+// independent continuations can branch from the same point, each free to
+// Inject different futures. The snapshot stays valid however far the
+// original loop (or any fork) advances.
+//
+// The copy is cheap in the sense that matters at scale: its size is the
+// live state — wait-queue backlog, active batch, in-flight records,
+// digest state — not the history of the run, so snapshotting a
+// million-request run mid-stream costs what snapshotting a
+// thousand-request run costs (plus the exact-path record table, when the
+// run is below the exact-metrics threshold).
+type Snapshot struct {
+	s *server
+}
+
+// Snapshot freezes the loop's current state. It fails on a finalized or
+// errored loop, and when any active sequence's scheduler does not
+// implement sched.Cloner (every built-in scheduler does).
+//
+// Determinism contract, pinned by TestForkDeterminism: a fork driven
+// through the same Inject/Advance sequence as the original produces a
+// bit-identical Result — fork-then-advance ≡ straight-line advance.
+func (l *Loop) Snapshot() (*Snapshot, error) {
+	if l.finalized {
+		return nil, fmt.Errorf("serve: cannot snapshot a finalized loop")
+	}
+	if l.err != nil {
+		return nil, fmt.Errorf("serve: cannot snapshot a failed loop: %w", l.err)
+	}
+	s, err := l.s.clone(nil)
+	if err != nil {
+		return nil, err
+	}
+	// The frozen copy must not retain the live loop's observer: events
+	// belong to continuations, which attach their own through Fork.
+	s.cfg.Observer = nil
+	return &Snapshot{s: s}, nil
+}
+
+// Fork builds a live Loop resuming from the snapshot, with obs (which may
+// be nil) as its observer. Each call clones the snapshot's state again,
+// so forks are fully independent of each other and of the snapshot.
+func (sn *Snapshot) Fork(obs events.Observer) (*Loop, error) {
+	s, err := sn.s.clone(obs)
+	if err != nil {
+		return nil, err
+	}
+	l := &Loop{}
+	l.s = *s
+	return l, nil
+}
+
+// Fork is the one-shot convenience: Snapshot then Fork, for callers that
+// want a single divergent continuation rather than a reusable branch
+// point.
+func (l *Loop) Fork(obs events.Observer) (*Loop, error) {
+	sn, err := l.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return sn.Fork(obs)
+}
+
+// clone deep-copies the server so the copy can advance independently:
+// simulated system, wait queue, records, digest state, per-sequence
+// scheduler state, and the result-in-progress are all duplicated; the
+// factory and cost model are shared (stateless). obs becomes the copy's
+// observer. Scratch (plans, attended, pools) starts empty — it is
+// rebuilt on demand and never observable.
+func (s *server) clone(obs events.Observer) (*server, error) {
+	c := &server{
+		cfg:                      s.cfg,
+		captureLog:               s.captureLog,
+		sys:                      s.sys.Clone(),
+		cost:                     s.cost,
+		newSched:                 s.newSched,
+		queue:                    s.queue.Clone(),
+		injected:                 s.injected,
+		exactLimit:               s.exactLimit,
+		streaming:                s.streaming,
+		all:                      append([]workload.Request(nil), s.all...),
+		preemptions:              s.preemptions,
+		iterations:               s.iterations,
+		batchSum:                 s.batchSum,
+		staticGPU:                s.staticGPU,
+		staticCPU:                s.staticCPU,
+		admissionBlockedHeadroom: s.admissionBlockedHeadroom,
+		lastAdmitErr:             s.lastAdmitErr,
+		kvTokenFP16:              s.kvTokenFP16,
+		log:                      append([]string(nil), s.log...),
+		res: &Result{
+			Scheduler: s.res.Scheduler,
+			Breakdown: s.res.Breakdown.Clone(),
+		},
+	}
+	c.cfg.Observer = obs
+	if s.dig != nil {
+		c.dig = s.dig.clone()
+	}
+
+	// Fresh records in one arena chunk; the map lookup by ID replaces any
+	// old-pointer bookkeeping when the active sequences are repointed.
+	c.records = make(map[int]*RequestRecord, len(s.records))
+	c.recArena = make([]RequestRecord, 0, len(s.records)+16)
+	for id, rec := range s.records {
+		c.recArena = append(c.recArena, *rec)
+		c.records[id] = &c.recArena[len(c.recArena)-1]
+	}
+
+	c.active = make([]*seqState, 0, len(s.active))
+	for _, st := range s.active {
+		cl, ok := st.sch.(sched.Cloner)
+		if !ok {
+			return nil, fmt.Errorf("serve: scheduler %q (%T) does not implement sched.Cloner; snapshot needs per-sequence state it can copy", s.cfg.Scheduler, st.sch)
+		}
+		sch := cl.CloneScheduler()
+		rel, ok := sch.(sched.Releaser)
+		if !ok {
+			return nil, fmt.Errorf("serve: cloned scheduler %q lost its Release hook", s.cfg.Scheduler)
+		}
+		ctx := &sched.Context{}
+		*ctx = *st.ctx
+		ctx.Sys = c.sys
+		ctx.Breakdown = c.res.Breakdown
+		c.active = append(c.active, &seqState{
+			req:  st.req,
+			sch:  sch,
+			rel:  rel,
+			ctx:  ctx,
+			j:    st.j,
+			rec:  c.records[st.req.ID],
+			seq:  st.seq,
+			done: st.done,
+		})
+	}
+	return c, nil
+}

@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// forkConfig is a heterogeneous-arrival workload with the event log
+// captured, so fork determinism is pinned byte-for-byte down to the log.
+func forkConfig(name string) Config {
+	cfg := lightConfig(name)
+	cfg.Trace = workload.PoissonTrace(16, 2.0, 7)
+	cfg.CaptureLog = true
+	if name == "alisa" {
+		cfg.KVSparsity = 0.8
+		cfg.KVBits = 8
+	}
+	return cfg
+}
+
+// advanceTurns advances up to k turns, reporting whether the loop still
+// had work at every step.
+func advanceTurns(t *testing.T, l *Loop, k int) bool {
+	t.Helper()
+	ctx := context.Background()
+	for i := 0; i < k; i++ {
+		progressed, err := l.Advance(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !progressed {
+			return false
+		}
+	}
+	return true
+}
+
+func drainResult(t *testing.T, l *Loop) *Result {
+	t.Helper()
+	if err := l.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return l.Finalize()
+}
+
+// TestForkDeterminism is the tentpole contract: fork-then-advance is
+// bit-identical to straight-line advance — Result, metrics, and event
+// log — at every snapshot depth, for every store-backed and plain
+// scheduler, and the snapshot leaves the original run unperturbed.
+func TestForkDeterminism(t *testing.T) {
+	for _, name := range []string{"alisa", "flexgen", "vllm", "gpu-only"} {
+		t.Run(name, func(t *testing.T) {
+			sl, err := NewLoop(forkConfig(name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			straight := drainResult(t, sl)
+
+			sawActive := false
+			for _, k := range []int{1, 5, 12} {
+				l, err := NewLoop(forkConfig(name))
+				if err != nil {
+					t.Fatal(err)
+				}
+				advanceTurns(t, l, k)
+				if l.Active() > 0 {
+					sawActive = true
+				}
+				sn, err := l.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				fork, err := sn.Fork(nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := drainResult(t, fork); !reflect.DeepEqual(got, straight) {
+					t.Errorf("turn %d: fork-then-advance diverged from straight-line:\nfork:     %+v\nstraight: %+v", k, got, straight)
+				}
+				if got := drainResult(t, l); !reflect.DeepEqual(got, straight) {
+					t.Errorf("turn %d: snapshot perturbed the original run", k)
+				}
+			}
+			if !sawActive {
+				t.Fatal("no snapshot point caught active sequences; scheduler cloning was never exercised")
+			}
+		})
+	}
+}
+
+// TestForkScaleMode pins the same fork-then-advance ≡ straight-line
+// contract with the streaming digests live: the cloned sketch state must
+// continue identically.
+func TestForkScaleMode(t *testing.T) {
+	cfg := forkConfig("alisa")
+	cfg.ExactMetrics = -1
+	sl, err := NewLoop(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	straight := drainResult(t, sl)
+	if straight.Requests != nil {
+		t.Fatal("scale-mode run retained per-request records")
+	}
+
+	l, err := NewLoop(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	advanceTurns(t, l, 8)
+	fork, err := l.Fork(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drainResult(t, fork); !reflect.DeepEqual(got, straight) {
+		t.Errorf("scale-mode fork diverged:\nfork:     %+v\nstraight: %+v", got, straight)
+	}
+	if got := drainResult(t, l); !reflect.DeepEqual(got, straight) {
+		t.Error("scale-mode snapshot perturbed the original run")
+	}
+}
+
+// TestForkDivergentFutures exercises the reason Fork exists: multiple
+// independent continuations from one snapshot, each free to take a
+// different future. The undisturbed fork must still match the
+// straight-line run exactly while its sibling diverges.
+func TestForkDivergentFutures(t *testing.T) {
+	cfg := forkConfig("vllm")
+	sl, err := NewLoop(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	straight := drainResult(t, sl)
+
+	l, err := NewLoop(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	advanceTurns(t, l, 6)
+	sn, err := l.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := sn.Fork(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra, err := sn.Fork(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := extra.Inject(workload.Request{ID: 9001, Arrival: extra.Clock(), Input: 64, Output: 8}); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := drainResult(t, base); !reflect.DeepEqual(got, straight) {
+		t.Errorf("undisturbed fork diverged from straight-line:\nfork:     %+v\nstraight: %+v", got, straight)
+	}
+	if got := drainResult(t, extra); got.Completed != straight.Completed+1 {
+		t.Errorf("diverged fork completed %d requests, want %d", got.Completed, straight.Completed+1)
+	}
+	if got := drainResult(t, l); !reflect.DeepEqual(got, straight) {
+		t.Error("forking perturbed the original run")
+	}
+}
+
+// TestSnapshotGates pins the failure modes: a finalized loop cannot be
+// snapshotted.
+func TestSnapshotGates(t *testing.T) {
+	l, err := NewLoop(forkConfig("gpu-only"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainResult(t, l)
+	if _, err := l.Snapshot(); err == nil {
+		t.Fatal("snapshot of a finalized loop succeeded")
+	}
+}

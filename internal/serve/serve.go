@@ -108,7 +108,31 @@ type Config struct {
 	// captured log is byte-identical to what the loop has always produced,
 	// which the replay-determinism suite pins.
 	CaptureLog bool
+
+	// ExactMetrics is the exact-metrics threshold: while the total number
+	// of requests handed to the loop stays at or below it, the run keeps
+	// every per-request record and Finalize digests them with one
+	// end-of-run sort per latency — bit-identical to what the loop has
+	// always produced, which every golden, compat, and replay suite pins.
+	// The first injection that pushes the total past the threshold
+	// switches the loop to scale mode, deterministically (the trigger
+	// depends only on the injection count): completed requests stream
+	// into fixed-size digests (metrics.LatencyDigest) at completion time
+	// and their records are recycled immediately, so retained memory
+	// tracks the live backlog, not the trace length. In scale mode
+	// Result.Requests is nil, the latency percentiles are sketch
+	// estimates within the documented rank-error bound (Mean and Max stay
+	// exact), and duplicate-ID detection covers live requests only. 0
+	// selects DefaultExactMetrics; negative means scale mode from the
+	// first request. See DESIGN.md §10.
+	ExactMetrics int
 }
+
+// DefaultExactMetrics is the exact-metrics threshold when
+// Config.ExactMetrics is zero: large enough that every current trace,
+// test, and example stays on the bit-identical exact path, small enough
+// that million-request runs stream.
+const DefaultExactMetrics = 65536
 
 // withDefaults returns the config with zero fields defaulted.
 func (c Config) withDefaults() Config {
@@ -199,7 +223,14 @@ func (r RequestRecord) TPOT() float64 {
 // Result is the outcome of a serving simulation.
 type Result struct {
 	Scheduler string
-	Requests  []RequestRecord
+	// Requests holds the per-request records in insertion order — on the
+	// exact-metrics path only. A scale-mode run (see Config.ExactMetrics)
+	// streams records into digests at completion time and reports
+	// Requests nil; Completed still counts them.
+	Requests []RequestRecord
+	// Completed is the number of requests that ran to completion, in
+	// either mode.
+	Completed int
 	Breakdown *trace.Breakdown
 
 	// Makespan is the simulated time from trace start to the last
@@ -248,6 +279,13 @@ type seqState struct {
 	ctx *sched.Context
 	j   int // completed decode steps
 	rec *RequestRecord
+	// seq is the request's wait-queue ticket, kept so a preemption
+	// requeue restores its FCFS position (see reqQueue).
+	seq uint64
+	// done marks a sequence completed this iteration; iterate compacts
+	// the active list once after the completion sweep instead of paying a
+	// linear scan-and-shift per completion.
+	done bool
 }
 
 // stepped pairs a sequence with its plan for the current iteration.
@@ -264,18 +302,26 @@ type server struct {
 	cost       costmodel.Cost
 	newSched   sched.Factory // per-admission scheduler constructor
 
-	// pending[pendingHead:] is the arrival-ordered wait queue. Popping
-	// advances the head; a preemption re-queues its request by stepping
-	// the head back over the slot its own admission vacated, so requeues
-	// never allocate. Injections insert into the waiting tail only, so
-	// the vacated-slot invariant survives streaming use.
-	pending     []workload.Request
-	pendingHead int
+	// queue is the arrival-keyed indexed wait queue: a binary min-heap on
+	// (Arrival, ticket) that frees each slot on pop. Preemption requeues
+	// re-enqueue under the original ticket, restoring the victim's FCFS
+	// position without allocating.
+	queue reqQueue
+
+	// injected counts every request ever handed to the loop; crossing
+	// exactLimit flips the run into scale mode, deterministically.
+	injected   int
+	exactLimit int
+	// streaming is true once the run entered scale mode: completions
+	// stream into dig and their records recycle through freeRecs.
+	streaming bool
+	dig       *scaleDigests
 
 	// all records every request ever handed to the loop — the seed trace
 	// followed by injections, in insertion order — and is what finalize
-	// reports over. For a trace run it aliases cfg.Trace (capacity-capped,
-	// so injections never write into the caller's array).
+	// reports over on the exact path. For a trace run it aliases
+	// cfg.Trace (capacity-capped, so injections never write into the
+	// caller's array). Scale mode drops it: finalize reads the digests.
 	all []workload.Request
 
 	active  []*seqState
@@ -285,6 +331,9 @@ type server struct {
 	// and a full chunk is replaced (never grown in place) so the pointers
 	// the map already holds stay valid.
 	recArena []RequestRecord
+	// freeRecs pools records recycled by scale-mode completions, so a
+	// steady-state stream allocates no new records at all.
+	freeRecs []*RequestRecord
 
 	preemptions int
 	iterations  int
@@ -388,6 +437,10 @@ func newLoop(cfg Config) (*Loop, error) {
 		}
 	}
 
+	exactLimit := cfg.ExactMetrics
+	if exactLimit == 0 {
+		exactLimit = DefaultExactMetrics
+	}
 	l := &Loop{}
 	l.s = server{
 		cfg:                      cfg,
@@ -395,7 +448,8 @@ func newLoop(cfg Config) (*Loop, error) {
 		sys:                      memsim.NewSystem(cfg.Profile),
 		cost:                     costmodel.New(cfg.Profile),
 		newSched:                 factory,
-		pending:                  append(workload.Trace(nil), cfg.Trace...),
+		exactLimit:               exactLimit,
+		injected:                 len(cfg.Trace),
 		all:                      cfg.Trace[:len(cfg.Trace):len(cfg.Trace)],
 		records:                  make(map[int]*RequestRecord, len(cfg.Trace)),
 		recArena:                 make([]RequestRecord, 0, len(cfg.Trace)),
@@ -407,8 +461,12 @@ func newLoop(cfg Config) (*Loop, error) {
 		},
 	}
 	s := &l.s
+	s.queue.seed(cfg.Trace)
 	for _, r := range cfg.Trace {
 		s.addRecord(r)
+	}
+	if exactLimit < 0 || s.injected > exactLimit {
+		s.enterScaleMode()
 	}
 
 	if err := s.reserveStatic(); err != nil {
@@ -437,23 +495,25 @@ func (l *Loop) Inject(req workload.Request) error {
 	case req.Arrival < 0:
 		return fmt.Errorf("serve: request %d has negative arrival %v", req.ID, req.Arrival)
 	}
+	// Duplicate detection spans every request ever injected on the exact
+	// path; in scale mode completed records are recycled, so it covers
+	// live requests only (see Config.ExactMetrics).
 	if _, dup := s.records[req.ID]; dup {
 		return fmt.Errorf("serve: duplicate request ID %d", req.ID)
 	}
 
-	// Insert into the waiting tail keeping arrival order (stable, so the
-	// admission loop's FCFS contract holds no matter when the request was
-	// pushed). Slots before pendingHead belong to the preemption-requeue
-	// invariant and are never touched.
-	s.pending = append(s.pending, req)
-	i := len(s.pending) - 1
-	for i > s.pendingHead && s.pending[i-1].Arrival > req.Arrival {
-		s.pending[i] = s.pending[i-1]
-		i--
+	// Enqueue under a fresh ticket: the (arrival, ticket) key keeps the
+	// admission loop's FCFS contract — arrival order, injection order
+	// across equal arrivals — no matter when the request was pushed.
+	s.queue.Push(req)
+	s.injected++
+	if !s.streaming {
+		s.all = append(s.all, req)
 	}
-	s.pending[i] = req
-	s.all = append(s.all, req)
 	s.addRecord(req)
+	if !s.streaming && s.exactLimit >= 0 && s.injected > s.exactLimit {
+		s.enterScaleMode()
+	}
 	return nil
 }
 
@@ -512,7 +572,7 @@ func (l *Loop) Finalize() *Result {
 func (l *Loop) Clock() float64 { return l.s.sys.Clock() }
 
 // Pending returns the number of injected requests waiting for admission.
-func (l *Loop) Pending() int { return len(l.s.pending) - l.s.pendingHead }
+func (l *Loop) Pending() int { return l.s.queue.Len() }
 
 // Active returns the current decode-batch occupancy.
 func (l *Loop) Active() int { return len(l.s.active) }
@@ -543,10 +603,18 @@ func (s *server) reserveStatic() error {
 	return nil
 }
 
-// addRecord allocates the per-request record from the current arena
-// chunk and indexes it; a full chunk is swapped for a fresh one (the map
-// keeps the old chunk's pointers alive and valid).
+// addRecord indexes a per-request record for req, reusing a recycled
+// record when scale mode has freed one; otherwise it allocates from the
+// current arena chunk, and a full chunk is swapped for a fresh one (the
+// map keeps the old chunk's pointers alive and valid).
 func (s *server) addRecord(req workload.Request) *RequestRecord {
+	if n := len(s.freeRecs); n > 0 {
+		rec := s.freeRecs[n-1]
+		s.freeRecs = s.freeRecs[:n-1]
+		*rec = RequestRecord{ID: req.ID, Arrival: req.Arrival, Input: req.Input, Output: req.Output}
+		s.records[req.ID] = rec
+		return rec
+	}
 	if len(s.recArena) == cap(s.recArena) {
 		n := 2 * cap(s.recArena)
 		if n < 16 {
@@ -566,15 +634,15 @@ func (s *server) addRecord(req workload.Request) *RequestRecord {
 // active). Cancellation is checked once per turn; a cancelled turn
 // releases every active sequence so the leak check still holds.
 func (s *server) turn(ctx context.Context) (bool, error) {
-	if s.pendingHead >= len(s.pending) && len(s.active) == 0 {
+	if s.queue.Len() == 0 && len(s.active) == 0 {
 		return false, nil
 	}
 	if err := ctx.Err(); err != nil {
 		return false, s.cancel(err)
 	}
 	// Idle with work only in the future: jump to the next arrival.
-	if len(s.active) == 0 && s.pending[s.pendingHead].Arrival > s.sys.Clock() {
-		s.sys.Advance(s.pending[s.pendingHead].Arrival - s.sys.Clock())
+	if len(s.active) == 0 && s.queue.Peek().Arrival > s.sys.Clock() {
+		s.sys.Advance(s.queue.Peek().Arrival - s.sys.Clock())
 		s.admissionBlockedHeadroom = -1
 	}
 	if err := s.admit(); err != nil {
@@ -584,7 +652,7 @@ func (s *server) turn(ctx context.Context) (bool, error) {
 		// Admission failed on an empty system: the head request can
 		// never run.
 		return false, fmt.Errorf("serve: request %d unservable: prompt KV cannot be placed on an empty system: %w",
-			s.pending[s.pendingHead].ID, s.lastAdmitErr)
+			s.queue.Peek().ID, s.lastAdmitErr)
 	}
 	if err := s.iterate(); err != nil {
 		return false, err
@@ -622,9 +690,8 @@ func (s *server) checkLeak() error {
 // admit moves arrived requests from the wait queue into the decode batch,
 // FCFS, until the batch cap or capacity stops it.
 func (s *server) admit() error {
-	for len(s.active) < s.cfg.MaxBatch && s.pendingHead < len(s.pending) {
-		req := s.pending[s.pendingHead]
-		if req.Arrival > s.sys.Clock() {
+	for len(s.active) < s.cfg.MaxBatch && s.queue.Len() > 0 {
+		if s.queue.Peek().Arrival > s.sys.Clock() {
 			return nil
 		}
 		if s.admissionBlockedHeadroom >= 0 && s.sys.GPUHeadroom() <= s.admissionBlockedHeadroom {
@@ -633,16 +700,17 @@ func (s *server) admit() error {
 			return nil
 		}
 		// Pop the head before tryAdmit: its admission callbacks may
-		// Inject, and an injected arrival earlier than req's must claim
-		// a waiting-tail slot, not the slot this admission is consuming.
-		// A failed probe fires no callbacks, so stepping back is safe.
-		s.pendingHead++
-		ok, err := s.tryAdmit(req)
+		// Inject, mutating the heap, and an injected arrival earlier than
+		// req's must not displace the slot this admission is consuming. A
+		// failed probe fires no callbacks, so requeueing under the
+		// original ticket restores the exact head position.
+		req, seq := s.queue.Pop()
+		ok, err := s.tryAdmit(req, seq)
 		if err != nil {
 			return err
 		}
 		if !ok {
-			s.pendingHead--
+			s.queue.Requeue(req, seq)
 			s.admissionBlockedHeadroom = s.sys.GPUHeadroom()
 			return nil
 		}
@@ -678,7 +746,7 @@ func (s *server) putSeq(st *seqState) {
 // snapshot diff is attributable) and reports ok=false; the clock cost of
 // the aborted attempt stays charged, as a real engine's aborted prefill
 // would.
-func (s *server) tryAdmit(req workload.Request) (bool, error) {
+func (s *server) tryAdmit(req workload.Request, seq uint64) (bool, error) {
 	sch := s.newSched()
 	rel, ok := sch.(sched.Releaser)
 	if !ok {
@@ -716,7 +784,7 @@ func (s *server) tryAdmit(req workload.Request) (bool, error) {
 	rec := s.records[req.ID]
 	rec.Admitted = s.sys.Clock() - prefill
 	rec.FirstToken = s.sys.Clock()
-	st.req, st.sch, st.rel, st.rec = req, sch, rel, rec
+	st.req, st.sch, st.rel, st.rec, st.seq = req, sch, rel, rec, seq
 	s.active = append(s.active, st)
 	if s.captureLog {
 		s.logf("t=%.9f admit r=%d in=%d out=%d wait=%.9f batch=%d",
@@ -817,6 +885,7 @@ func (s *server) iterate() error {
 	// Advance step counters and retire finished sequences. Token events
 	// fire before the completion they may trigger, so a subscriber sees
 	// every request's lifecycle close in order: ... token, completion.
+	finished := 0
 	for _, p := range plans {
 		p.st.j++
 		if s.cfg.Observer != nil {
@@ -826,11 +895,29 @@ func (s *server) iterate() error {
 		}
 		if p.st.j >= p.st.req.Output {
 			s.complete(p.st)
+			finished++
 		}
 	}
+	if finished > 0 {
+		// One order-preserving compaction retires every sequence complete
+		// marked done, recycling it into the pool.
+		out := s.active[:0]
+		for _, st := range s.active {
+			if st.done {
+				s.putSeq(st)
+			} else {
+				out = append(out, st)
+			}
+		}
+		for i := len(out); i < len(s.active); i++ {
+			s.active[i] = nil
+		}
+		s.active = out
+	}
 	// Hand the (possibly grown) scratch back for the next iteration. The
-	// retired seqStates plans still points at were recycled by complete,
-	// so the truncation on entry is what drops those references.
+	// retired seqStates plans still points at were recycled by the
+	// compaction, so the truncation on entry is what drops those
+	// references.
 	s.plans, s.attended = plans, attended
 	if s.cfg.Observer != nil {
 		s.cfg.Observer.OnStep(events.Step{
@@ -859,31 +946,25 @@ func (s *server) preempt(victim *seqState) {
 	}
 
 	s.active = s.active[:len(s.active)-1]
-	// Requeue ahead of unadmitted arrivals: the request keeps its FCFS
-	// position (its original arrival time orders it first). Every active
-	// sequence consumed one head slot at admission, so stepping the head
-	// back reuses exactly the slot this request vacated — no allocation,
-	// no shifting; the cold fallback only guards the impossible case.
-	if s.pendingHead > 0 {
-		s.pendingHead--
-		s.pending[s.pendingHead] = victim.req
-	} else {
-		s.pending = append([]workload.Request{victim.req}, s.pending...)
-	}
+	// Requeue under the original ticket: the (arrival, ticket) key
+	// restores the request's FCFS position ahead of everything that
+	// queued behind it, and a heap push into warm capacity allocates
+	// nothing — the old slice-based path's "prepend by fresh allocation"
+	// fallback is gone with the slice.
+	s.queue.Requeue(victim.req, victim.seq)
 	s.putSeq(victim)
 	s.admissionBlockedHeadroom = -1
 }
 
-// complete retires a finished sequence, freeing its KV.
+// complete retires a finished sequence: it frees the KV, closes the
+// record, and — in scale mode — streams the completion into the digests
+// and recycles the record on the spot. The sequence is only marked done
+// here; iterate compacts the active list once after the completion
+// sweep, so retiring k of b sequences costs O(b), not O(k·b).
 func (s *server) complete(st *seqState) {
 	gpu, cpu := st.rel.Release(st.ctx)
 	st.rec.Finished = s.sys.Clock()
-	for k, a := range s.active {
-		if a == st {
-			s.active = append(s.active[:k], s.active[k+1:]...)
-			break
-		}
-	}
+	st.done = true
 	s.admissionBlockedHeadroom = -1
 	if s.captureLog {
 		s.logf("t=%.9f finish r=%d ttft=%.9f tpot=%.9f freedGPU=%d freedCPU=%d",
@@ -898,7 +979,11 @@ func (s *server) complete(st *seqState) {
 			Preemptions: st.rec.Preemptions,
 		})
 	}
-	s.putSeq(st)
+	if s.streaming {
+		s.streamCompletion(st.rec)
+		delete(s.records, st.req.ID)
+		s.freeRecs = append(s.freeRecs, st.rec)
+	}
 }
 
 // sloMet is the goodput criterion: the request met both service-level
@@ -909,7 +994,74 @@ func (s *server) sloMet(rec *RequestRecord) bool {
 	return rec.TTFT() <= s.cfg.SLOTTFT && rec.TPOT() <= s.cfg.SLOTPOT
 }
 
-// finalize computes the aggregate metrics from the per-request records.
+// scaleDigests is the fixed-size accumulator state of a scale-mode run:
+// three streaming latency digests plus the running throughput and
+// goodput aggregates — everything finalize needs, with no per-request
+// retention.
+type scaleDigests struct {
+	ttft, tpot, e2e *metrics.LatencyDigest
+	completed       int
+	totalTokens     int
+	goodTokens      int
+	good            int
+	makespan        float64
+}
+
+func newScaleDigests() *scaleDigests {
+	return &scaleDigests{
+		ttft: metrics.NewLatencyDigest(0),
+		tpot: metrics.NewLatencyDigest(0),
+		e2e:  metrics.NewLatencyDigest(0),
+	}
+}
+
+// clone deep-copies the digest state for Loop.Snapshot.
+func (d *scaleDigests) clone() *scaleDigests {
+	c := *d
+	c.ttft, c.tpot, c.e2e = d.ttft.Clone(), d.tpot.Clone(), d.e2e.Clone()
+	return &c
+}
+
+// enterScaleMode flips the run into streaming-digest mode: every already
+// completed record is streamed into the digests in insertion order —
+// deterministic, since the switch itself fires at a deterministic
+// injection count — and recycled; records stay indexed for live requests
+// only, and the insertion-order request list is dropped. From here on,
+// complete streams each finish directly.
+func (s *server) enterScaleMode() {
+	s.streaming = true
+	s.dig = newScaleDigests()
+	for _, r := range s.all {
+		rec := s.records[r.ID]
+		if rec == nil || rec.Finished == 0 {
+			continue
+		}
+		s.streamCompletion(rec)
+		delete(s.records, r.ID)
+		s.freeRecs = append(s.freeRecs, rec)
+	}
+	s.all = nil
+}
+
+// streamCompletion folds one completed record into the digests.
+func (s *server) streamCompletion(rec *RequestRecord) {
+	d := s.dig
+	d.completed++
+	d.ttft.Observe(rec.TTFT())
+	d.tpot.Observe(rec.TPOT())
+	d.e2e.Observe(rec.Finished - rec.Arrival)
+	d.totalTokens += rec.Output
+	if rec.Finished > d.makespan {
+		d.makespan = rec.Finished
+	}
+	if s.sloMet(rec) {
+		d.good++
+		d.goodTokens += rec.Output
+	}
+}
+
+// finalize computes the aggregate metrics — from the per-request records
+// on the exact path, from the streaming digests in scale mode.
 func (s *server) finalize() {
 	res := s.res
 	res.EventLog = s.log
@@ -918,6 +1070,23 @@ func (s *server) finalize() {
 		res.MeanBatch = float64(s.batchSum) / float64(s.iterations)
 	}
 	res.PeakGPU, res.PeakCPU = s.sys.Peak()
+
+	if s.streaming {
+		d := s.dig
+		res.Completed = d.completed
+		res.TTFT = d.ttft.Summary()
+		res.TPOT = d.tpot.Summary()
+		res.E2E = d.e2e.Summary()
+		res.Makespan = d.makespan
+		if d.makespan > 0 {
+			res.Throughput = float64(d.totalTokens) / d.makespan
+			res.Goodput = float64(d.goodTokens) / d.makespan
+		}
+		if d.completed > 0 {
+			res.SLOAttainment = float64(d.good) / float64(d.completed)
+		}
+		return
+	}
 
 	n := len(s.all)
 	res.Requests = make([]RequestRecord, 0, n)
@@ -946,6 +1115,7 @@ func (s *server) finalize() {
 			goodTokens += rec.Output
 		}
 	}
+	res.Completed = len(res.Requests)
 	// One percentile scratch serves all three latency digests.
 	var scratch []float64
 	res.TTFT, scratch = metrics.SummarizeInto(ttft, scratch)

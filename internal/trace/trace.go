@@ -62,6 +62,15 @@ func (b *Breakdown) Merge(o *Breakdown) {
 	}
 }
 
+// Clone returns an independent copy of the breakdown.
+func (b *Breakdown) Clone() *Breakdown {
+	c := NewBreakdown()
+	for cat, v := range b.seconds {
+		c.seconds[cat] = v
+	}
+	return c
+}
+
 // Categories returns the non-zero categories in stable (sorted) order.
 func (b *Breakdown) Categories() []Category {
 	cats := make([]Category, 0, len(b.seconds))

@@ -118,6 +118,38 @@ func (s *Session) InFlight() int { return s.loop.Active() }
 // means no request has completed yet.
 func (s *Session) Snapshot() WindowSnapshot { return s.window.Snapshot() }
 
+// Fork branches the session into an independent continuation: the
+// returned session resumes from this one's exact current state —
+// simulated clock, wait queue, in-flight batch with each sequence's
+// scheduler state, per-request records or streaming digests, and the
+// rolling metrics window — and the two sessions then advance separately,
+// each free to Push a different future. A fork driven through the same
+// Push/Advance sequence as the original produces bit-identical results
+// (the loop-level determinism contract, pinned by test); diverging them
+// is the point — what-if admission studies, speculative load probes, or
+// A/B-ing a traffic spike against a baseline from one warmed-up state.
+//
+// The engine's compiled Observer is carried over (the fork's events flow
+// to it too); Subscribe'd observers are not — subscribers belong to one
+// session's event stream, so attach fresh ones to the fork as needed.
+// Forking a closed or failed session is an error.
+func (s *Session) Fork() (*Session, error) {
+	if s.closed {
+		return nil, fmt.Errorf("alisa: session closed")
+	}
+	f := &Session{
+		eng:    s.eng,
+		ctx:    s.ctx,
+		window: s.window.Clone(),
+	}
+	loop, err := s.loop.Fork(sessionTap{f})
+	if err != nil {
+		return nil, err
+	}
+	f.loop = loop
+	return f, nil
+}
+
 // Subscribe attaches an additional streaming observer for the rest of
 // the session, alongside the engine's compiled Observer. Events are
 // delivered to the engine's observer first, then to subscribers in

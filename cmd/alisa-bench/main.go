@@ -100,6 +100,24 @@ type sweepTiming struct {
 	AllocsPerServeRunCaptured float64 `json:"allocs_per_serve_run_captured"`
 }
 
+// clusterTiming is the -cluster-bench entry in the -json report: the
+// (router × fleet size) cluster grid run serially and in parallel on the
+// same engine, with the bit-identity self-check over result fingerprints.
+type clusterTiming struct {
+	Routers  []string `json:"routers"`
+	Replicas []int    `json:"replicas"`
+	Requests int      `json:"requests"`
+	Rate     float64  `json:"rate"`
+	Workers  int      `json:"workers"`
+	// SerialSeconds and ParallelSeconds are the wall clocks of the two
+	// passes; Identical reports whether every cell's full-precision result
+	// fingerprint matched bit for bit across them.
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	Speedup         float64 `json:"speedup"`
+	Identical       bool    `json:"parallel_results_identical"`
+}
+
 // scaleTiming is the -scale-bench entry in the -json report: one paced
 // scale-mode serving stream through the public Session API.
 type scaleTiming struct {
@@ -116,10 +134,11 @@ type scaleTiming struct {
 
 // report is the top-level -json document.
 type report struct {
-	TotalSeconds float64      `json:"total_seconds"`
-	Experiments  []timing     `json:"experiments"`
-	ServeSweep   *sweepTiming `json:"serve_sweep,omitempty"`
-	ScaleServe   *scaleTiming `json:"scale_serve,omitempty"`
+	TotalSeconds float64        `json:"total_seconds"`
+	Experiments  []timing       `json:"experiments"`
+	ServeSweep   *sweepTiming   `json:"serve_sweep,omitempty"`
+	ScaleServe   *scaleTiming   `json:"scale_serve,omitempty"`
+	Cluster      *clusterTiming `json:"cluster,omitempty"`
 }
 
 func main() {
@@ -140,7 +159,17 @@ func main() {
 	sweepRates := flag.String("sweep-rates", "1,2,4,8", "comma-separated arrival rates for -sweep-bench")
 	sweepN := flag.Int("sweep-n", 48, "requests per -sweep-bench cell")
 	sweepParallel := flag.Int("sweep-parallel", 0, "workers for the parallel pass (0 = GOMAXPROCS)")
+	clusterBench := flag.Bool("cluster-bench", false, "bench the replicated-fleet grid serially vs in parallel")
+	clusterRouters := flag.String("cluster-routers", "", "comma-separated routing policies for -cluster-bench (empty = all registered)")
+	clusterReplicas := flag.String("cluster-replicas", "1,2,4", "comma-separated fleet sizes for -cluster-bench")
+	clusterN := flag.Int("cluster-n", 48, "requests per -cluster-bench cell")
+	clusterRate := flag.Float64("cluster-rate", 6, "arrival rate for -cluster-bench, requests/second")
+	clusterParallel := flag.Int("cluster-parallel", 0, "workers for the parallel pass (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	if err := validateParallelism(*gridParallel, *sweepParallel, *clusterParallel); err != nil {
+		fatal(err)
+	}
 
 	var runners []experiments.Runner
 	switch {
@@ -162,7 +191,7 @@ func main() {
 		runners = []experiments.Runner{r}
 	case *all:
 		runners = experiments.All()
-	case *sweepBench, *scaleBench:
+	case *sweepBench, *scaleBench, *clusterBench:
 		// bench modes alone: no experiments, just their sections.
 	default:
 		flag.Usage()
@@ -191,6 +220,13 @@ func main() {
 			fatal(err)
 		}
 		rep.ScaleServe = st
+	}
+	if *clusterBench {
+		ct, err := runClusterBench(*clusterRouters, *clusterReplicas, *clusterN, *clusterRate, *clusterParallel, *asJSON)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Cluster = ct
 	}
 	rep.TotalSeconds = time.Since(start).Seconds()
 	if *asJSON {
@@ -415,6 +451,129 @@ func runSweepBench(scheds, rates string, n, workers int, quiet bool) (*sweepTimi
 		return st, fmt.Errorf("parallel sweep diverged from serial results")
 	}
 	return st, nil
+}
+
+// validateParallelism rejects negative worker counts for every grid-style
+// bench mode (0 means GOMAXPROCS everywhere); table-tested in
+// main_test.go.
+func validateParallelism(gridParallel, sweepParallel, clusterParallel int) error {
+	if gridParallel < 0 {
+		return fmt.Errorf("-grid-parallel must be ≥ 0, got %d", gridParallel)
+	}
+	if sweepParallel < 0 {
+		return fmt.Errorf("-sweep-parallel must be ≥ 0, got %d", sweepParallel)
+	}
+	if clusterParallel < 0 {
+		return fmt.Errorf("-cluster-parallel must be ≥ 0, got %d", clusterParallel)
+	}
+	return nil
+}
+
+// runClusterBench measures the (router × fleet size) cluster grid twice —
+// serially and through the bounded worker pool — on one compiled engine,
+// and checks the two passes agree bit for bit via the full-precision
+// result fingerprints.
+func runClusterBench(routers, replicas string, n int, rate float64, workers int, quiet bool) (*clusterTiming, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("-cluster-n must be positive, got %d", n)
+	}
+	if rate <= 0 {
+		return nil, fmt.Errorf("-cluster-rate must be positive, got %v", rate)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	routerNames := alisa.ClusterRouters()
+	if routers != "" {
+		routerNames = strings.Split(routers, ",")
+		for i := range routerNames {
+			routerNames[i] = strings.TrimSpace(routerNames[i])
+		}
+	}
+	var sizes []int
+	for _, f := range strings.Split(replicas, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad -cluster-replicas entry %q", f)
+		}
+		sizes = append(sizes, v)
+	}
+
+	eng, err := alisa.New("opt-6.7b",
+		alisa.WithScheduler("alisa"), alisa.WithKVSparsity(0.8), alisa.WithKVBits(8), alisa.WithMaxBatch(8))
+	if err != nil {
+		return nil, err
+	}
+	trace := alisa.PoissonTrace(n, rate, 1)
+
+	ctx := context.Background()
+	cells := len(routerNames) * len(sizes)
+	runCell := func(ctx context.Context, out []string, c int) error {
+		res, err := eng.ServeCluster(ctx, alisa.ClusterSpec{
+			Replicas: sizes[c%len(sizes)],
+			Router:   routerNames[c/len(sizes)],
+		}, trace)
+		if err != nil {
+			return err
+		}
+		out[c] = res.Fingerprint()
+		return nil
+	}
+
+	serial := make([]string, cells)
+	serialStart := time.Now()
+	for c := 0; c < cells; c++ {
+		if err := runCell(ctx, serial, c); err != nil {
+			return nil, fmt.Errorf("serial cell %d: %w", c, err)
+		}
+	}
+	serialSeconds := time.Since(serialStart).Seconds()
+
+	parallel := make([]string, cells)
+	errs := make([]error, cells)
+	parallelStart := time.Now()
+	_ = grid.Run(ctx, cells, workers, func(ctx context.Context, c int) {
+		errs[c] = runCell(ctx, parallel, c)
+	})
+	parallelSeconds := time.Since(parallelStart).Seconds()
+	for c, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("parallel cell %d: %w", c, err)
+		}
+	}
+
+	identical := true
+	for c := range serial {
+		if serial[c] != parallel[c] {
+			identical = false
+			break
+		}
+	}
+
+	ct := &clusterTiming{
+		Routers:         routerNames,
+		Replicas:        sizes,
+		Requests:        n,
+		Rate:            rate,
+		Workers:         workers,
+		SerialSeconds:   serialSeconds,
+		ParallelSeconds: parallelSeconds,
+		Speedup:         serialSeconds / parallelSeconds,
+		Identical:       identical,
+	}
+	if !quiet {
+		fmt.Printf("== cluster bench — %d routers × %d fleet sizes, %d requests/cell at %.1f req/s, %d workers\n\n",
+			len(routerNames), len(sizes), n, rate, workers)
+		tb := textfmt.NewTable("pass", "wall", "speedup", "bit-identical")
+		tb.AddRow("serial", fmt.Sprintf("%.3fs", serialSeconds), "1.00×", "—")
+		tb.AddRow("parallel", fmt.Sprintf("%.3fs", parallelSeconds),
+			fmt.Sprintf("%.2f×", ct.Speedup), fmt.Sprint(identical))
+		fmt.Println(tb.String())
+	}
+	if !identical {
+		return ct, fmt.Errorf("parallel cluster grid diverged from serial results")
+	}
+	return ct, nil
 }
 
 // runScaleBench streams n requests through one scale-mode Session

@@ -1,0 +1,249 @@
+// Command alisa-cluster runs the replicated-fleet serving simulator: N
+// independent engine replicas behind a pluggable router, swept over
+// (routing policy × offered load × fleet size) and reported as SLO
+// attainment versus request rate versus replica count — the cluster-level
+// load curves on top of the single-engine tables of alisa-serve.
+//
+// Usage:
+//
+//	alisa-cluster                                  # default load curves
+//	alisa-cluster -replicas 1,2,4 -rates 2,4,8,16  # the full grid
+//	alisa-cluster -routers least-kv,affinity       # a policy subset
+//	alisa-cluster -profiles V100-16GB,V100-32GB    # heterogeneous fleet:
+//	                                               # tiers cycle across
+//	                                               # replicas
+//	alisa-cluster -autoscale -as-max 4             # autoscaler on: fleets
+//	                                               # grow to -as-max on
+//	                                               # missed SLO, shrink on
+//	                                               # sustained idle
+//	alisa-cluster -parallel 0                      # grid cells run
+//	                                               # concurrently (0 =
+//	                                               # GOMAXPROCS workers)
+//
+// Every cell is one deterministic fleet simulation — single-goroutine,
+// bit-identical in (seed, spec) — so the tables are stable under any
+// -parallel setting, the same executor discipline as the alisa-serve
+// sweep. Ctrl-C cancels the grid; finished cells still print.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+
+	alisa "repro"
+	"repro/internal/grid"
+	"repro/internal/textfmt"
+)
+
+func main() {
+	modelName := flag.String("model", "opt-6.7b", "model catalog name")
+	sched := flag.String("sched", "alisa", "scheduler for every replica")
+	sparsity := flag.Float64("sparsity", 0.8, "ALISA KV sparsity")
+	bits := flag.Int("bits", 8, "ALISA KV bits")
+	maxBatch := flag.Int("max-batch", 8, "decode batch cap per replica")
+	sloTTFT := flag.Float64("slo-ttft", 10, "TTFT SLO seconds")
+	sloTPOT := flag.Float64("slo-tpot", 0.5, "TPOT SLO seconds/token")
+	n := flag.Int("n", 64, "requests in the trace")
+	seed := flag.Int64("seed", 1, "trace seed")
+	replicas := flag.String("replicas", "1,2,4", "comma-separated fleet sizes")
+	routers := flag.String("routers", "", "comma-separated routing policies (empty = all registered)")
+	rates := flag.String("rates", "2,4,8", "comma-separated arrival rates, requests/second")
+	profiles := flag.String("profiles", "", "comma-separated hardware tiers cycled across replicas (empty = engine default)")
+	window := flag.Int("window", 0, "fleet metrics window in completions (0 = engine default)")
+	autoscale := flag.Bool("autoscale", false, "enable the SLO-driven autoscaler (fleet sizes become the Min bound)")
+	asMax := flag.Int("as-max", 4, "autoscaler fleet ceiling")
+	asTarget := flag.Float64("as-target", 0.9, "autoscaler windowed SLO-attainment target")
+	asIdle := flag.Float64("as-idle", 5, "autoscaler scale-down idle threshold, simulated seconds")
+	parallel := flag.Int("parallel", 1, "concurrent grid cells (0 = GOMAXPROCS workers, 1 = serial)")
+	flag.Parse()
+
+	routerNames := splitList(*routers)
+	if len(routerNames) == 0 {
+		routerNames = alisa.ClusterRouters()
+	}
+	sizes, err := parseInts(*replicas, "-replicas")
+	if err != nil {
+		fatal(err)
+	}
+	rateVals, err := parseRates(*rates, "-rates")
+	if err != nil {
+		fatal(err)
+	}
+	if err := validateFlags(*n, *parallel, sizes, routerNames, *autoscale, *asMax, *asTarget); err != nil {
+		fatal(err)
+	}
+
+	opts := []alisa.Option{
+		alisa.WithScheduler(*sched),
+		alisa.WithMaxBatch(*maxBatch),
+		alisa.WithSLO(*sloTTFT, *sloTPOT),
+	}
+	if *sched == "alisa" {
+		opts = append(opts, alisa.WithKVSparsity(*sparsity), alisa.WithKVBits(*bits))
+	}
+	eng, err := alisa.New(*modelName, opts...)
+	if err != nil {
+		fatal(err)
+	}
+
+	traces := make([]alisa.TraceWorkload, len(rateVals))
+	for ri, r := range rateVals {
+		traces[ri] = alisa.PoissonTrace(*n, r, *seed)
+	}
+
+	// The grid: cell index c = ((router × rate) × size), results in
+	// index-addressed storage so tables render in deterministic order no
+	// matter which worker finishes first.
+	spec := func(c int) (string, int, int) { // router, rate index, size index
+		si := c % len(sizes)
+		ri := (c / len(sizes)) % len(rateVals)
+		pi := c / (len(sizes) * len(rateVals))
+		return routerNames[pi], ri, si
+	}
+	cells := len(routerNames) * len(rateVals) * len(sizes)
+	results := make([]*alisa.ClusterResult, cells)
+	errs := make([]error, cells)
+	started := make([]bool, cells)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	_ = grid.Run(ctx, cells, *parallel, func(cellCtx context.Context, c int) {
+		started[c] = true
+		router, ri, si := spec(c)
+		cs := alisa.ClusterSpec{
+			Replicas: sizes[si],
+			Profiles: splitList(*profiles),
+			Router:   router,
+			Window:   *window,
+		}
+		if *autoscale {
+			cs.Autoscale = &alisa.ClusterAutoscale{
+				Min:       sizes[si],
+				Max:       *asMax,
+				SLOTarget: *asTarget,
+				IdleAfter: *asIdle,
+			}
+		}
+		results[c], errs[c] = eng.ServeCluster(cellCtx, cs, traces[ri])
+	})
+
+	for pi, router := range routerNames {
+		fmt.Printf("## %s, %d requests (seed %d) — router %s: SLO attainment vs rate vs fleet size\n\n",
+			*modelName, *n, *seed, router)
+		header := []string{"req/s"}
+		for _, size := range sizes {
+			header = append(header, fmt.Sprintf("n=%d SLO%%", size), fmt.Sprintf("n=%d tok/s", size))
+		}
+		tb := textfmt.NewTable(header...)
+		for ri := range rateVals {
+			row := []string{fmt.Sprintf("%.1f", rateVals[ri])}
+			for si := range sizes {
+				c := (pi*len(rateVals)+ri)*len(sizes) + si
+				res := results[c]
+				switch {
+				case !started[c]:
+					row = append(row, "skipped", "—")
+				case errs[c] != nil && res == nil:
+					row = append(row, "error: "+errs[c].Error(), "—")
+				default:
+					slo := fmt.Sprintf("%.0f%%", res.SLOAttainment*100)
+					if *autoscale {
+						slo += fmt.Sprintf(" (peak %d)", res.PeakReplicas)
+					}
+					row = append(row, slo, fmt.Sprintf("%.1f", res.Throughput))
+				}
+			}
+			tb.AddRow(row...)
+		}
+		fmt.Println(tb.String())
+	}
+	if ctx.Err() != nil {
+		fmt.Println("(grid cancelled; unstarted cells were skipped)")
+	}
+}
+
+// validateFlags rejects inconsistent grid parameters before any fleet is
+// built; table-tested in main_test.go.
+func validateFlags(n, parallel int, sizes []int, routers []string, autoscale bool, asMax int, asTarget float64) error {
+	if n <= 0 {
+		return fmt.Errorf("-n must be positive, got %d", n)
+	}
+	if parallel < 0 {
+		return fmt.Errorf("-parallel must be ≥ 0, got %d", parallel)
+	}
+	if len(sizes) == 0 {
+		return fmt.Errorf("-replicas must list at least one fleet size")
+	}
+	for _, s := range sizes {
+		if s <= 0 {
+			return fmt.Errorf("-replicas entries must be positive, got %d", s)
+		}
+		if autoscale && s > asMax {
+			return fmt.Errorf("-replicas %d exceeds -as-max %d", s, asMax)
+		}
+	}
+	known := alisa.ClusterRouters()
+	for _, r := range routers {
+		found := false
+		for _, k := range known {
+			if r == k {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("unknown router %q (registered: %s)", r, strings.Join(known, ", "))
+		}
+	}
+	if autoscale && (asTarget <= 0 || asTarget > 1) {
+		return fmt.Errorf("-as-target must be in (0, 1], got %v", asTarget)
+	}
+	return nil
+}
+
+// splitList splits a comma-separated flag into trimmed non-empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// parseInts parses a comma-separated integer list flag.
+func parseInts(s, flagName string) ([]int, error) {
+	var out []int
+	for _, f := range splitList(s) {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad %s entry %q: %w", flagName, f, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseRates parses a comma-separated positive float list flag.
+func parseRates(s, flagName string) ([]float64, error) {
+	var out []float64
+	for _, f := range splitList(s) {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad %s entry %q: want a positive rate", flagName, f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "alisa-cluster:", err)
+	os.Exit(1)
+}

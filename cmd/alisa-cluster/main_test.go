@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateFlags(t *testing.T) {
+	ok := []string{"round-robin"}
+	cases := []struct {
+		name      string
+		n, par    int
+		sizes     []int
+		routers   []string
+		autoscale bool
+		asMax     int
+		asTarget  float64
+		wantErr   string
+	}{
+		{"defaults", 64, 1, []int{1, 2, 4}, ok, false, 4, 0.9, ""},
+		{"parallel zero is GOMAXPROCS", 64, 0, []int{1}, ok, false, 4, 0.9, ""},
+		{"zero n", 0, 1, []int{1}, ok, false, 4, 0.9, "-n must be positive"},
+		{"negative parallel", 64, -1, []int{1}, ok, false, 4, 0.9, "-parallel must be ≥ 0"},
+		{"empty sizes", 64, 1, nil, ok, false, 4, 0.9, "at least one fleet size"},
+		{"zero size", 64, 1, []int{0}, ok, false, 4, 0.9, "must be positive"},
+		{"unknown router", 64, 1, []int{1}, []string{"wat"}, false, 4, 0.9, "unknown router"},
+		{"size above as-max", 64, 1, []int{8}, ok, true, 4, 0.9, "exceeds -as-max"},
+		{"bad as-target", 64, 1, []int{1}, ok, true, 4, 1.5, "-as-target must be in"},
+		{"autoscale ok", 64, 1, []int{2}, ok, true, 4, 0.9, ""},
+	}
+	for _, tc := range cases {
+		err := validateFlags(tc.n, tc.par, tc.sizes, tc.routers, tc.autoscale, tc.asMax, tc.asTarget)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestParseLists(t *testing.T) {
+	sizes, err := parseInts(" 1, 2 ,4", "-replicas")
+	if err != nil || len(sizes) != 3 || sizes[2] != 4 {
+		t.Fatalf("parseInts: %v %v", sizes, err)
+	}
+	if _, err := parseInts("1,x", "-replicas"); err == nil {
+		t.Fatal("parseInts accepted a non-integer")
+	}
+	rates, err := parseRates("0.5, 2", "-rates")
+	if err != nil || len(rates) != 2 || rates[0] != 0.5 {
+		t.Fatalf("parseRates: %v %v", rates, err)
+	}
+	if _, err := parseRates("-1", "-rates"); err == nil {
+		t.Fatal("parseRates accepted a negative rate")
+	}
+	if got := splitList(" a, ,b "); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("splitList: %v", got)
+	}
+}

@@ -73,17 +73,8 @@ func main() {
 	progress := flag.Bool("progress", false, "stream admission/preemption/completion events to stderr")
 	flag.Parse()
 
-	if *n <= 0 {
-		fatal(fmt.Errorf("-n must be positive, got %d", *n))
-	}
-	if *parallel < 0 {
-		fatal(fmt.Errorf("-parallel must be ≥ 0, got %d", *parallel))
-	}
-	if *sweep != "" && *closedLoop != "" {
-		fatal(fmt.Errorf("-sweep and -closed-loop are different load regimes; pick one"))
-	}
-	if *think < 0 {
-		fatal(fmt.Errorf("-think must be ≥ 0, got %v", *think))
+	if err := validateFlags(*n, *parallel, *think, *sweep, *closedLoop); err != nil {
+		fatal(err)
 	}
 	names := strings.Split(*scheds, ",")
 	rates := []float64{*rate}
@@ -199,6 +190,24 @@ func main() {
 	if ctx.Err() != nil {
 		fmt.Println("(sweep cancelled; unstarted cells were skipped)")
 	}
+}
+
+// validateFlags rejects inconsistent serve parameters before any engine
+// compiles; table-tested in main_test.go.
+func validateFlags(n, parallel int, think float64, sweep, closedLoop string) error {
+	if n <= 0 {
+		return fmt.Errorf("-n must be positive, got %d", n)
+	}
+	if parallel < 0 {
+		return fmt.Errorf("-parallel must be ≥ 0, got %d", parallel)
+	}
+	if sweep != "" && closedLoop != "" {
+		return fmt.Errorf("-sweep and -closed-loop are different load regimes; pick one")
+	}
+	if think < 0 {
+		return fmt.Errorf("-think must be ≥ 0, got %v", think)
+	}
+	return nil
 }
 
 // runCells executes one scheduler-grid's cells on the bounded worker

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name        string
+		n, parallel int
+		think       float64
+		sweep       string
+		closedLoop  string
+		wantErr     string
+	}{
+		{"defaults", 48, 1, 0.5, "", "", ""},
+		{"parallel zero is GOMAXPROCS", 48, 0, 0.5, "1,2", "", ""},
+		{"zero n", 0, 1, 0.5, "", "", "-n must be positive"},
+		{"negative n", -3, 1, 0.5, "", "", "-n must be positive"},
+		{"negative parallel", 48, -2, 0.5, "", "", "-parallel must be ≥ 0"},
+		{"sweep and closed-loop", 48, 1, 0.5, "1,2", "4,8", "pick one"},
+		{"negative think", 48, 1, -0.1, "", "", "-think must be ≥ 0"},
+		{"closed loop alone", 48, 1, 0, "", "4,8", ""},
+	}
+	for _, tc := range cases {
+		err := validateFlags(tc.n, tc.parallel, tc.think, tc.sweep, tc.closedLoop)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+}

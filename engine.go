@@ -24,8 +24,8 @@ type ConfigError struct {
 	// Field names the offending option or argument: "Model", "Profile",
 	// "Scheduler", "KVSparsity", "KVBits", "MaxBatch", "SLOTTFT",
 	// "SLOTPOT", "Observer", "MetricsWindow", "Batch", "Input",
-	// "Output", "Trace", "Policy", "Steps", "Clients", "Requests", or
-	// "ThinkTime".
+	// "Output", "Trace", "Policy", "Steps", "Clients", "Requests",
+	// "ThinkTime", "Replicas", "Router", or "Autoscale".
 	Field  string
 	Value  any
 	Reason string

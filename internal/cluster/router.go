@@ -1,0 +1,217 @@
+// Package cluster is the fleet layer above internal/serve: N independent
+// serve.Loop replicas driven behind a pluggable front-end router, with a
+// windowed-metrics autoscaler on top. One engine simulates one GPU; this
+// package simulates the system level the KV-cache-management literature
+// frames above per-GPU scheduling — request routing across replicas,
+// heterogeneous hardware tiers, and capacity that follows load.
+//
+// The whole fleet is one discrete-event simulation: replicas keep
+// independent virtual clocks, and the fleet advances whichever busy
+// replica is furthest behind (ties to the lowest replica ID), so a run
+// is a deterministic function of (seed, fleet config) — the same
+// single-goroutine discipline as serve.Loop, and the property the
+// bit-identity tests pin under -race.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"repro/internal/workload"
+)
+
+// ReplicaView is the router's read-only view of one live replica at
+// routing time: identity, tier, queue state, and KV pressure. Views are
+// ordered by replica ID and contain live (non-retired) replicas only.
+type ReplicaView struct {
+	// ID is the replica's fleet-unique identity. IDs are never reused —
+	// a replica added by the autoscaler gets a fresh ID — so affinity
+	// hashing stays stable across scale events.
+	ID int
+	// Tier is the replica's hardware profile name (e.g. "V100-16GB").
+	Tier string
+	// Pending and Active are the replica's wait-queue depth and current
+	// decode-batch occupancy.
+	Pending int
+	Active  int
+	// MaxBatch is the replica's decode-batch cap.
+	MaxBatch int
+	// Clock is the replica's simulated time in seconds.
+	Clock float64
+	// GPUHeadroom is the simulated GPU bytes currently free on the
+	// replica; GPUCapacity is its total HBM. Together they give the
+	// KV-pressure fraction heterogeneous fleets compare by.
+	GPUHeadroom int64
+	GPUCapacity int64
+}
+
+// Outstanding returns the replica's total in-system request count — the
+// load signal queue-depth routing balances.
+func (v ReplicaView) Outstanding() int { return v.Pending + v.Active }
+
+// Router picks the replica each arriving request is dispatched to.
+// Pick returns an index into views (not a replica ID); views is never
+// empty. Routers may keep internal state (a round-robin cursor) — each
+// cluster owns a private instance from the registry's factory — but must
+// be deterministic: the same request/view sequence must produce the same
+// picks, because fleet results are pinned bit-identical in (seed, config).
+type Router interface {
+	Name() string
+	Pick(req workload.Request, views []ReplicaView) int
+}
+
+// Factory constructs a fresh Router instance; each cluster gets its own,
+// so stateful policies never share cursors across fleets.
+type Factory func() Router
+
+var (
+	routersMu sync.RWMutex
+	routers   = map[string]Factory{}
+)
+
+// RegisterRouter adds a routing policy to the registry under its name.
+// Registering an empty name, a nil factory, or a duplicate panics —
+// registration is init-time wiring, and the built-ins are always present.
+func RegisterRouter(name string, f Factory) {
+	routersMu.Lock()
+	defer routersMu.Unlock()
+	if name == "" || f == nil {
+		panic("cluster: RegisterRouter requires a name and a factory")
+	}
+	if _, dup := routers[name]; dup {
+		panic(fmt.Sprintf("cluster: router %q already registered", name))
+	}
+	routers[name] = f
+}
+
+// RouterByName instantiates a registered routing policy.
+func RouterByName(name string) (Router, error) {
+	routersMu.RLock()
+	f, ok := routers[name]
+	routersMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown router %q (have %v)", name, Routers())
+	}
+	return f(), nil
+}
+
+// Routers returns the registered policy names, sorted.
+func Routers() []string {
+	routersMu.RLock()
+	defer routersMu.RUnlock()
+	names := make([]string, 0, len(routers))
+	for n := range routers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	RegisterRouter("round-robin", func() Router { return &roundRobin{} })
+	RegisterRouter("least-outstanding", func() Router { return leastOutstanding{} })
+	RegisterRouter("least-kv", func() Router { return leastKV{} })
+	RegisterRouter("affinity", func() Router { return affinity{} })
+}
+
+// roundRobin cycles through the live replicas in ID order. The cursor
+// counts dispatches, not positions, so the rotation stays well-defined
+// when the autoscaler grows or shrinks the view slice between picks.
+type roundRobin struct{ n uint64 }
+
+func (r *roundRobin) Name() string { return "round-robin" }
+
+func (r *roundRobin) Pick(_ workload.Request, views []ReplicaView) int {
+	i := int(r.n % uint64(len(views)))
+	r.n++
+	return i
+}
+
+// leastOutstanding dispatches to the replica with the fewest in-system
+// requests (queued + in batch), ties to the lowest replica ID — classic
+// least-connections balancing, which tracks load directly instead of
+// assuming homogeneous replicas.
+type leastOutstanding struct{}
+
+func (leastOutstanding) Name() string { return "least-outstanding" }
+
+func (leastOutstanding) Pick(_ workload.Request, views []ReplicaView) int {
+	best := 0
+	for i := 1; i < len(views); i++ {
+		if views[i].Outstanding() < views[best].Outstanding() {
+			best = i
+		}
+	}
+	return best
+}
+
+// leastKV dispatches to the replica with the largest free-KV fraction
+// (GPU headroom over capacity), ties to the lowest replica ID. The
+// fraction — not the absolute byte count — is what makes a mixed fleet
+// fair: a half-empty 16G card beats a nearly-full 80G card even though
+// the latter has more absolute bytes free.
+type leastKV struct{}
+
+func (leastKV) Name() string { return "least-kv" }
+
+func (leastKV) Pick(_ workload.Request, views []ReplicaView) int {
+	best := 0
+	bestFrac := kvFreeFrac(views[0])
+	for i := 1; i < len(views); i++ {
+		if f := kvFreeFrac(views[i]); f > bestFrac {
+			best, bestFrac = i, f
+		}
+	}
+	return best
+}
+
+// kvFreeFrac is the replica's free-GPU fraction; a degenerate capacity
+// ranks last.
+func kvFreeFrac(v ReplicaView) float64 {
+	if v.GPUCapacity <= 0 {
+		return -1
+	}
+	return float64(v.GPUHeadroom) / float64(v.GPUCapacity)
+}
+
+// affinity pins each request key to a replica by rendezvous
+// (highest-random-weight) hashing over the live replica IDs: the chosen
+// replica is the one whose (key, ID) hash scores highest. Session and
+// prefix caches love this policy — a key always lands on the same
+// replica while that replica lives, and when the autoscaler adds or
+// removes a replica only the keys whose winner changed move (~1/N of
+// them), instead of the wholesale reshuffle modulo hashing causes.
+// The key is the request ID, the session identity in this simulator.
+type affinity struct{}
+
+func (affinity) Name() string { return "affinity" }
+
+func (affinity) Pick(req workload.Request, views []ReplicaView) int {
+	best, bestScore := 0, rendezvousScore(uint64(req.ID), views[0].ID)
+	for i := 1; i < len(views); i++ {
+		if s := rendezvousScore(uint64(req.ID), views[i].ID); s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// rendezvousScore hashes (key, replica ID) with FNV-1a. 64-bit FNV over
+// the two little-endian words is cheap, stable across runs, and spreads
+// keys evenly enough for fleet balancing.
+func rendezvousScore(key uint64, replicaID int) uint64 {
+	h := fnv.New64a()
+	var buf [16]byte
+	putU64(buf[:8], key)
+	putU64(buf[8:], uint64(replicaID))
+	h.Write(buf[:])
+	return h.Sum64()
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/memsim"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// tightProfile returns a V100-derived profile whose GPU fits the static
+// reservations (runtime reserve, weights, activations for maxBatch) plus
+// exactly kvTokens of FP16 KV, so the admission arithmetic in the gate
+// tests is controlled to the token.
+func tightProfile(m model.Config, maxBatch, kvTokens int) memsim.Profile {
+	prof := memsim.V100_16G()
+	static := prof.ReserveBytes + m.WeightBytes(2) + m.ActivationBytes(maxBatch, 2)
+	prof.Name = "tight-test"
+	prof.GPUMemBytes = static + int64(kvTokens)*m.KVBytesPerToken(2)
+	return prof
+}
+
+// TestInjectAheadOfBlockedHeadResetsGate is the stale-admission-gate
+// regression: a failed probe's "head didn't fit" verdict is cached in
+// admissionBlockedHeadroom, and before the fix an injected request that
+// sorted ahead of the blocked head inherited that verdict — it was not
+// probed until GPU headroom moved, even when it would have fit, inflating
+// TTFT in closed-loop and session runs. The injected head must admit on
+// the very next turn, with no completion freeing memory.
+func TestInjectAheadOfBlockedHeadResetsGate(t *testing.T) {
+	m := model.MustByName("opt-6.7b")
+	const maxBatch = 2
+	cfg := Config{
+		Model:     m,
+		Profile:   tightProfile(m, maxBatch, 600),
+		Scheduler: "gpu-only",
+		MaxBatch:  maxBatch,
+	}
+	l, err := NewLoop(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Request 0 (256-token prompt) fits; request 1's 500-token prompt
+	// cannot be placed next to it, so its probe fails and the headroom
+	// gate latches against the 344 tokens that remain.
+	if err := l.Inject(workload.Request{ID: 0, Arrival: 0, Input: 256, Output: 64}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Inject(workload.Request{ID: 1, Arrival: 0.01, Input: 500, Output: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Advance(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if l.Active() != 1 {
+		t.Fatalf("setup: active %d, want 1 (request 0 admitted, request 1 blocked)", l.Active())
+	}
+
+	// A small request with an earlier arrival becomes the new queue head.
+	// Headroom only shrinks while request 0 decodes, so no headroom
+	// movement will ever unblock the gate — only the injection-time reset
+	// can let the new head be probed.
+	if err := l.Inject(workload.Request{ID: 2, Arrival: 0.005, Input: 32, Output: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Advance(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if l.Active() != 2 {
+		t.Fatalf("injected head not admitted: active %d, want 2 (stale admission gate)", l.Active())
+	}
+
+	if err := l.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	res := l.Finalize()
+	if res.Completed != 3 {
+		t.Fatalf("completed %d of 3", res.Completed)
+	}
+	var rec2, rec0 RequestRecord
+	for _, r := range res.Requests {
+		switch r.ID {
+		case 0:
+			rec0 = r
+		case 2:
+			rec2 = r
+		}
+	}
+	if rec2.Admitted >= rec0.Finished {
+		t.Fatalf("request 2 admitted at %.6f only after request 0 finished at %.6f — memory had to be freed first",
+			rec2.Admitted, rec0.Finished)
+	}
+}
+
+// TestInjectBehindBlockedHeadKeepsGate is the complement: an injection
+// that does NOT displace the blocked head must leave the gate latched —
+// the whole point of the gate is to not re-probe a stuck head every
+// iteration.
+func TestInjectBehindBlockedHeadKeepsGate(t *testing.T) {
+	m := model.MustByName("opt-6.7b")
+	const maxBatch = 2
+	cfg := Config{
+		Model:     m,
+		Profile:   tightProfile(m, maxBatch, 600),
+		Scheduler: "gpu-only",
+		MaxBatch:  maxBatch,
+	}
+	l, err := NewLoop(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := l.Inject(workload.Request{ID: 0, Arrival: 0, Input: 256, Output: 64}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Inject(workload.Request{ID: 1, Arrival: 0.01, Input: 500, Output: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Advance(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Arrival 0.02 sorts behind the blocked head at 0.01: the verdict
+	// still describes the front of the queue, so nothing may be admitted.
+	if err := l.Inject(workload.Request{ID: 2, Arrival: 0.02, Input: 32, Output: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Advance(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if l.Active() != 1 {
+		t.Fatalf("active %d, want 1: a request behind the blocked head must stay queued", l.Active())
+	}
+	if err := l.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if res := l.Finalize(); res.Completed != 3 {
+		t.Fatalf("completed %d of 3", res.Completed)
+	}
+}
+
+// TestIsCancellation pins the one cancellation classification every
+// drain path shares.
+func TestIsCancellation(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"canceled", context.Canceled, true},
+		{"deadline", context.DeadlineExceeded, true},
+		{"wrapped canceled", fmt.Errorf("turn: %w", context.Canceled), true},
+		{"fatal", errors.New("KV accounting leak"), false},
+	}
+	for _, tc := range cases {
+		if got := IsCancellation(tc.err); got != tc.want {
+			t.Errorf("IsCancellation(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestRunClassifiesCauseWrappedCancel drives a context.WithCancelCause
+// cancellation through Run: the custom cause must not change the
+// classification — Run still returns the partial result alongside the
+// cancellation error.
+func TestRunClassifiesCauseWrappedCancel(t *testing.T) {
+	cause := errors.New("backend drained by the load balancer")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+	res, err := Run(ctx, lightConfig("alisa"))
+	if err == nil || !IsCancellation(err) {
+		t.Fatalf("cause-wrapped cancellation classified as fatal: %v", err)
+	}
+	if res == nil {
+		t.Fatal("cancellation must carry the partial result")
+	}
+	if context.Cause(ctx) != cause {
+		t.Fatalf("cause lost: %v", context.Cause(ctx))
+	}
+}

@@ -386,12 +386,22 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	if err := l.Drain(ctx); err != nil {
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		if IsCancellation(err) {
 			return l.Finalize(), err
 		}
 		return nil, err
 	}
 	return l.Finalize(), nil
+}
+
+// IsCancellation reports whether err is a context cancellation or
+// deadline expiry — the class of failures that still carries a partial
+// Result (metrics over the requests that completed). It is the one
+// classification every drain path uses — Run, the public session Close,
+// and the cluster layer — so cause-wrapped cancellations
+// (context.WithCancelCause) behave identically everywhere.
+func IsCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // Loop is the step-driven serving core: one discrete-event continuous-
@@ -506,6 +516,16 @@ func (l *Loop) Inject(req workload.Request) error {
 	// admission loop's FCFS contract — arrival order, injection order
 	// across equal arrivals — no matter when the request was pushed.
 	s.queue.Push(req)
+	// A failed probe's "head didn't fit" verdict belongs to the request
+	// that was probed. If this injection sorts ahead of that blocked
+	// head, the cached verdict no longer describes the queue front: clear
+	// the gate so the next admission pass probes the new head even though
+	// GPU headroom has not moved, and drop the stale probe error so the
+	// unservable diagnosis can never report a different request's failure.
+	if s.admissionBlockedHeadroom >= 0 && s.queue.Peek().ID == req.ID {
+		s.admissionBlockedHeadroom = -1
+		s.lastAdmitErr = nil
+	}
 	s.injected++
 	if !s.streaming {
 		s.all = append(s.all, req)
@@ -576,6 +596,10 @@ func (l *Loop) Pending() int { return l.s.queue.Len() }
 
 // Active returns the current decode-batch occupancy.
 func (l *Loop) Active() int { return len(l.s.active) }
+
+// GPUHeadroom returns the simulated GPU bytes currently free — the
+// signal KV-pressure-aware cluster routers rank replicas by.
+func (l *Loop) GPUHeadroom() int64 { return l.s.sys.GPUHeadroom() }
 
 // Err returns the latched fatal or cancellation error, if any.
 func (l *Loop) Err() error { return l.err }

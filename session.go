@@ -2,7 +2,6 @@ package alisa
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"math/rand"
 
@@ -181,7 +180,7 @@ func (s *Session) Close() (*ServeResult, error) {
 	}
 	s.closed = true
 	if err := s.loop.Drain(s.ctx); err != nil {
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		if serve.IsCancellation(err) {
 			s.result, s.err = s.loop.Finalize(), err
 		} else {
 			s.result, s.err = nil, err

@@ -331,6 +331,41 @@ func TestSessionCancellation(t *testing.T) {
 	}
 }
 
+// TestSessionCancelCauseClassified pins the cancellation classification
+// on the Session.Close path for cause-wrapped contexts: a context
+// cancelled via context.WithCancelCause must still be treated as a
+// cancellation — partial result returned, error matching
+// context.Canceled — identically to serve.Run (see
+// TestRunClassifiesCauseWrappedCancel in internal/serve).
+func TestSessionCancelCauseClassified(t *testing.T) {
+	cause := errors.New("fleet rebalance moved this session")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	eng, err := New("opt-6.7b", WithKVSparsity(0.8), WithKVBits(8), WithMaxBatch(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := eng.Open(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range PoissonTrace(8, 4, 7) {
+		if err := s.Push(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cancel(cause)
+	res, err := s.Close()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want a context.Canceled classification", err)
+	}
+	if res == nil {
+		t.Fatal("cause-wrapped cancellation must still carry the partial result")
+	}
+	if context.Cause(ctx) != cause {
+		t.Fatalf("cause lost: %v", context.Cause(ctx))
+	}
+}
+
 // TestServeClosedLoopDeterministicAndComplete pins the closed-loop
 // driver: every budgeted request completes, the result is bit-identical
 // across runs, and concurrency actually scales the in-flight load.

@@ -66,7 +66,7 @@ func main() {
 		}
 		return res
 	}
-	with := run(sched.NewAlisa())
+	with := run(sched.MustByName("alisa"))
 	without := run(sched.NewAlisaManual(0, 512, false))
 	fmt.Printf("\nend to end:  with recompute %s   without %s   (%.2fx)\n",
 		textfmt.Seconds(with.TotalSeconds), textfmt.Seconds(without.TotalSeconds),

@@ -1,0 +1,131 @@
+// Package analyzertest runs analyzers over fixture modules and checks
+// their findings against // want comments, mirroring the x/tools
+// analysistest contract: every finding must be expected, and every
+// expectation must fire.
+//
+// Fixtures live under a testdata directory, each as its own tiny Go
+// module (go tooling ignores testdata, so the inner go.mod never leaks
+// into the outer build). Expectations annotate the offending line:
+//
+//	t := time.Now() // want `time\.Now`
+//
+// One backquoted (or double-quoted) regexp per expected finding; a line
+// with two findings carries two patterns. The runner applies the same
+// pipeline as cmd/alisa-lint — including //alisa:ignore suppression
+// resolution — so fixtures can also assert that suppressions hold and
+// that bare suppressions are themselves reported (as analyzer
+// "ignore").
+package analyzertest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRe pulls the patterns off a want comment: backquoted or
+// double-quoted strings after "// want".
+var wantRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// Run loads the fixture module rooted at dir, applies the analyzers,
+// and reports every mismatch between findings and // want comments on
+// t.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	pkgs, err := analysis.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	findings, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers over %s: %v", dir, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			collectWants(t, pkg.Fset, f, func(file string, line int, re *regexp.Regexp) {
+				k := key{file, line}
+				wants[k] = append(wants[k], re)
+			})
+		}
+	}
+
+	matched := make(map[key][]bool)
+	for k, res := range wants {
+		matched[k] = make([]bool, len(res))
+	}
+	for _, fd := range findings {
+		k := key{fd.Pos.Filename, fd.Pos.Line}
+		ok := false
+		for i, re := range wants[k] {
+			if re.MatchString(fd.Message) {
+				matched[k][i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding: %s", fd)
+		}
+	}
+	for k, res := range wants {
+		for i, re := range res {
+			if !matched[k][i] {
+				t.Errorf("%s:%d: expected finding matching %q, got none", k.file, k.line, re)
+			}
+		}
+	}
+}
+
+// collectWants scans a file's comments for want expectations and emits
+// (file, line, pattern) triples.
+func collectWants(t *testing.T, fset *token.FileSet, f *ast.File, emit func(string, int, *regexp.Regexp)) {
+	t.Helper()
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			idx := strings.Index(c.Text, "// want ")
+			if idx < 0 {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			for _, raw := range wantRe.FindAllString(c.Text[idx+len("// want "):], -1) {
+				pat := raw
+				if pat[0] == '`' {
+					pat = pat[1 : len(pat)-1]
+				} else {
+					unq, err := strconv.Unquote(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, raw, err)
+					}
+					pat = unq
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+				}
+				emit(pos.Filename, pos.Line, re)
+			}
+		}
+	}
+}
+
+// Findings loads dir and returns the raw finding list — for tests that
+// assert on counts or exact messages rather than per-line wants.
+func Findings(dir string, analyzers ...*analysis.Analyzer) ([]analysis.Finding, error) {
+	pkgs, err := analysis.Load(dir, "./...")
+	if err != nil {
+		return nil, fmt.Errorf("loading fixture %s: %w", dir, err)
+	}
+	return analysis.Run(pkgs, analyzers)
+}

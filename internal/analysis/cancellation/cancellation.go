@@ -1,0 +1,106 @@
+// Package cancellation enforces the single-predicate rule PR 7's bug
+// sweep established: context-cancellation tests go through
+// serve.IsCancellation, not hand-rolled errors.Is chains or direct
+// comparisons. One predicate means the cluster layer, the session
+// layer, and the serve loop can never disagree about what counts as a
+// graceful cancel.
+package cancellation
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// DefaultExempt is the package allowed to test context errors directly:
+// the one defining the helper.
+var DefaultExempt = []string{"repro/internal/serve"}
+
+// DefaultHelper is the predicate the diagnostic points at.
+const DefaultHelper = "serve.IsCancellation"
+
+// New returns the analyzer with an explicit exempt set and helper name
+// (for fixture tests); nil/empty fall back to nothing exempt.
+func New(exempt []string, helper string) *analysis.Analyzer {
+	ex := make(map[string]bool, len(exempt))
+	for _, p := range exempt {
+		ex[p] = true
+	}
+	return &analysis.Analyzer{
+		Name: "cancellation",
+		Doc:  "forbid hand-rolled context-cancellation tests; use " + helper,
+		Run: func(pass *analysis.Pass) error {
+			if ex[pass.Pkg.Path()] {
+				return nil
+			}
+			return run(pass, helper)
+		},
+	}
+}
+
+// Analyzer is the production instance: everything outside
+// internal/serve uses serve.IsCancellation.
+var Analyzer = New(DefaultExempt, DefaultHelper)
+
+func run(pass *analysis.Pass, helper string) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkErrorsIs(pass, n, helper)
+			case *ast.BinaryExpr:
+				checkComparison(pass, n, helper)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrorsIs flags errors.Is(err, context.Canceled/DeadlineExceeded).
+func checkErrorsIs(pass *analysis.Pass, call *ast.CallExpr, helper string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 2 {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "errors" || fn.Name() != "Is" {
+		return
+	}
+	if name := contextErrName(pass, call.Args[1]); name != "" {
+		pass.Reportf(call.Pos(), "errors.Is against context.%s duplicates the cancellation predicate; use %s(err)", name, helper)
+	}
+}
+
+// checkComparison flags err == context.Canceled style comparisons,
+// which miss wrapped causes entirely.
+func checkComparison(pass *analysis.Pass, bin *ast.BinaryExpr, helper string) {
+	if op := bin.Op.String(); op != "==" && op != "!=" {
+		return
+	}
+	name := contextErrName(pass, bin.X)
+	if name == "" {
+		name = contextErrName(pass, bin.Y)
+	}
+	if name != "" {
+		pass.Reportf(bin.Pos(), "comparing against context.%s misses wrapped causes; use %s(err)", name, helper)
+	}
+}
+
+// contextErrName resolves e to context.Canceled or
+// context.DeadlineExceeded, returning the bare name, or "".
+func contextErrName(pass *analysis.Pass, e ast.Expr) string {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Pkg().Path() != "context" {
+		return ""
+	}
+	if n := v.Name(); n == "Canceled" || n == "DeadlineExceeded" {
+		return n
+	}
+	return ""
+}

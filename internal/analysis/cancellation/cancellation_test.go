@@ -1,0 +1,27 @@
+package cancellation
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+)
+
+// TestFixtures runs the analyzer with the fixture's own exempt package
+// standing in for internal/serve: hand-rolled errors.Is chains and
+// direct comparisons are flagged everywhere else, and the
+// predicate-defining package stays legal.
+func TestFixtures(t *testing.T) {
+	a := New([]string{"canfix/exempt"}, "serve.IsCancellation")
+	analyzertest.Run(t, "../testdata/cancellation", a)
+}
+
+// TestDefaults pins the production configuration: internal/serve is the
+// one exempt package, and the diagnostic names the real helper.
+func TestDefaults(t *testing.T) {
+	if len(DefaultExempt) != 1 || DefaultExempt[0] != "repro/internal/serve" {
+		t.Errorf("DefaultExempt = %v, want [repro/internal/serve]", DefaultExempt)
+	}
+	if DefaultHelper != "serve.IsCancellation" {
+		t.Errorf("DefaultHelper = %q", DefaultHelper)
+	}
+}

@@ -1,0 +1,14 @@
+package hotpath
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+)
+
+// TestFixtures runs the analyzer over annotated functions carrying each
+// forbidden idiom, their legal twins, and an unannotated function with
+// the same bodies (which must stay silent).
+func TestFixtures(t *testing.T) {
+	analyzertest.Run(t, "../testdata/hotpath", Analyzer)
+}

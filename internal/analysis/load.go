@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	CgoFiles   []string
+	Standard   bool
+	DepOnly    bool
+	Export     string
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns (e.g. "./...") in dir the way the go tool
+// does, then parses and type-checks every matched package against the
+// export data of its dependencies. Test files are not loaded: the
+// contracts the analyzers enforce bind the shipped simulator, and tests
+// legitimately construct built-ins directly.
+//
+// The heavy lifting — dependency resolution and compilation — is
+// delegated to `go list -export -deps`, so Load works offline on any
+// tree the toolchain can build, with no third-party loader.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", patterns, err, errb.String())
+	}
+
+	var roots []*listPackage
+	exports := make(map[string]string)
+	dec := json.NewDecoder(&out)
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("analysis: loading %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly {
+			roots = append(roots, lp)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	pkgs := make([]*Package, 0, len(roots))
+	for _, lp := range roots {
+		if len(lp.CgoFiles) > 0 {
+			return nil, fmt.Errorf("analysis: %s uses cgo, which the loader does not support", lp.ImportPath)
+		}
+		files := make([]*ast.File, 0, len(lp.GoFiles))
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: parsing %s: %v", name, err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Implicits:  make(map[ast.Node]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:     make(map[ast.Node]*types.Scope),
+			Instances:  make(map[*ast.Ident]types.Instance),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-checking %s: %v", lp.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			Path:  lp.ImportPath,
+			Dir:   lp.Dir,
+			Fset:  fset,
+			Files: files,
+			Pkg:   tpkg,
+			Info:  info,
+		})
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one resolved diagnostic: a concrete source position plus
+// the analyzer that produced it. The "ignore" pseudo-analyzer reports
+// malformed suppression comments and cannot itself be suppressed.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding the way compilers do:
+// path:line:col: [analyzer] message.
+func (f Finding) String() string {
+	return f.Pos.String() + ": [" + f.Analyzer + "] " + f.Message
+}
+
+// IgnoreDirective is the comment prefix that suppresses a finding:
+//
+//	//alisa:ignore <analyzer> <reason>
+//
+// The directive applies to findings from <analyzer> on its own line and
+// on the line directly below it (so it works both as a trailing comment
+// and as a comment line above the flagged statement). The reason is
+// mandatory — a bare suppression is itself reported, under the "ignore"
+// pseudo-analyzer, and suppresses nothing.
+const IgnoreDirective = "//alisa:ignore"
+
+// suppression is one parsed //alisa:ignore directive.
+type suppression struct {
+	analyzer string
+	line     int
+}
+
+// Run applies every analyzer to every loaded package (honoring each
+// analyzer's Match), resolves suppression comments, and returns the
+// surviving findings sorted by position. Malformed suppressions are
+// returned as findings too.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		sup, malformed := collectSuppressions(pkg)
+		findings = append(findings, malformed...)
+		for _, a := range analyzers {
+			if a.Match != nil && !a.Match(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if suppressed(sup, a.Name, pos) {
+					return
+				}
+				findings = append(findings, Finding{Pos: pos, Analyzer: a.Name, Message: d.Message})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// collectSuppressions parses every //alisa:ignore directive in the
+// package. Well-formed directives (analyzer name + non-empty reason)
+// become suppressions; malformed ones become findings.
+func collectSuppressions(pkg *Package) (map[string][]suppression, []Finding) {
+	sup := make(map[string][]suppression)
+	var malformed []Finding
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, IgnoreDirective) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, IgnoreDirective)
+				fields := strings.Fields(rest)
+				pos := pkg.Fset.Position(c.Pos())
+				if len(fields) < 2 {
+					malformed = append(malformed, Finding{
+						Pos:      pos,
+						Analyzer: "ignore",
+						Message:  "suppression requires an analyzer name and a reason: //alisa:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				sup[pos.Filename] = append(sup[pos.Filename], suppression{analyzer: fields[0], line: pos.Line})
+			}
+		}
+	}
+	return sup, malformed
+}
+
+// suppressed reports whether a finding from analyzer at pos is covered
+// by a directive on the same line or the line directly above.
+func suppressed(sup map[string][]suppression, analyzer string, pos token.Position) bool {
+	for _, s := range sup[pos.Filename] {
+		if s.analyzer != analyzer {
+			continue
+		}
+		if s.line == pos.Line || s.line == pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,93 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/determinism"
+)
+
+// TestMalformedSuppression pins the suppression contract's teeth: a
+// reason-less //alisa:ignore suppresses nothing and is itself reported
+// under the "ignore" pseudo-analyzer, and a directive naming the wrong
+// analyzer does not cover the finding.
+func TestMalformedSuppression(t *testing.T) {
+	findings, err := analyzertest.Findings("testdata/suppress", determinism.New(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ignore, determ int
+	for _, f := range findings {
+		switch f.Analyzer {
+		case "ignore":
+			ignore++
+			if !strings.Contains(f.Message, "requires an analyzer name and a reason") {
+				t.Errorf("ignore finding has unexpected message: %s", f)
+			}
+		case "determinism":
+			determ++
+			if !strings.Contains(f.Message, "time.Now") {
+				t.Errorf("determinism finding has unexpected message: %s", f)
+			}
+		default:
+			t.Errorf("unexpected analyzer %q: %s", f.Analyzer, f)
+		}
+	}
+	if ignore != 1 {
+		t.Errorf("got %d malformed-suppression findings, want 1", ignore)
+	}
+	if determ != 2 {
+		t.Errorf("got %d determinism findings, want 2 (bare and wrong-analyzer directives must not suppress)", determ)
+	}
+}
+
+// TestFindingsSorted verifies driver output order is positional — the
+// stable order the CI log and the fixture matcher both rely on.
+func TestFindingsSorted(t *testing.T) {
+	findings, err := analyzertest.Findings("testdata/determinism", determinism.New(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) < 2 {
+		t.Fatalf("want several findings from the determinism fixture, got %d", len(findings))
+	}
+	for i := 1; i < len(findings); i++ {
+		a, b := findings[i-1], findings[i]
+		if a.Pos.Filename > b.Pos.Filename ||
+			(a.Pos.Filename == b.Pos.Filename && a.Pos.Line > b.Pos.Line) {
+			t.Errorf("findings out of order: %s before %s", a, b)
+		}
+	}
+}
+
+// TestFindingString pins the compiler-style rendering the CI gate
+// greps.
+func TestFindingString(t *testing.T) {
+	findings, err := analyzertest.Findings("testdata/suppress", determinism.New(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		s := f.String()
+		if !strings.Contains(s, ".go:") || !strings.Contains(s, "["+f.Analyzer+"]") {
+			t.Errorf("finding renders as %q; want path:line:col: [analyzer] message", s)
+		}
+	}
+}
+
+// TestMatchScopesPackages verifies Run honors an analyzer's Match: a
+// scope rejecting every package yields no findings even over the
+// all-positive fixture.
+func TestMatchScopesPackages(t *testing.T) {
+	none := determinism.New(func(string) bool { return false })
+	findings, err := analyzertest.Findings("testdata/suppress", none)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if f.Analyzer == "determinism" {
+			t.Errorf("scoped-out analyzer still reported: %s", f)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+// Package a is the cancellation fixture: hand-rolled context-error
+// tests that should route through the one predicate.
+package a
+
+import (
+	"context"
+	"errors"
+	"io"
+)
+
+func BadIs(err error) bool {
+	return errors.Is(err, context.Canceled) // want `errors\.Is against context\.Canceled`
+}
+
+func BadChain(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) // want `context\.Canceled` `context\.DeadlineExceeded`
+}
+
+func BadCompare(err error) bool {
+	return err == context.Canceled // want `comparing against context\.Canceled misses wrapped causes`
+}
+
+func BadCompareFlipped(err error) bool {
+	return context.DeadlineExceeded != err // want `comparing against context\.DeadlineExceeded misses wrapped causes`
+}
+
+func OKOtherSentinel(err error) bool {
+	return errors.Is(err, io.EOF) // ok: not a context sentinel
+}
+
+func OKCtxErrCall(ctx context.Context) error {
+	return ctx.Err() // ok: reading the error is fine; testing it is not
+}

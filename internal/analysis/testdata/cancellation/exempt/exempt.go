@@ -1,0 +1,13 @@
+// Package exempt stands in for the package that defines the predicate:
+// it must test context errors directly, and the analyzer's exempt list
+// keeps it legal.
+package exempt
+
+import (
+	"context"
+	"errors"
+)
+
+func IsCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

@@ -1,0 +1,3 @@
+module canfix
+
+go 1.24

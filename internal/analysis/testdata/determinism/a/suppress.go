@@ -1,0 +1,14 @@
+package a
+
+import "time"
+
+// Suppressed shows the escape hatch: a justified //alisa:ignore on the
+// offending line (or the line directly above) swallows the finding.
+// The bare-directive case lives in the suppress fixture module, where
+// the malformed-suppression finding is asserted by message.
+func Suppressed() time.Duration {
+	start := time.Now() //alisa:ignore determinism coarse self-timing, never feeds results
+	//alisa:ignore determinism coarse self-timing, never feeds results
+	elapsed := time.Since(start)
+	return elapsed
+}

@@ -1,0 +1,81 @@
+// Package a is the hotpath fixture: each forbidden allocation idiom in
+// an annotated function, each with its legal twin, and the same idioms
+// unflagged in an unannotated function.
+package a
+
+import "fmt"
+
+type state struct {
+	scratch []int
+	sink    []string
+}
+
+func sinkAny(v any)     {}
+func sinkInt(v int)     {}
+func name(x int) string { return "x" }
+
+//alisa:hotpath
+func HotFmt(n int) string {
+	s := fmt.Sprintf("%d", n) // want `fmt\.Sprintf allocates on the hot path`
+	_ = fmt.Sprint(n)         // want `fmt\.Sprint allocates on the hot path`
+	return s
+}
+
+//alisa:hotpath
+func HotAppend(s *state, xs []int) {
+	var grown []int
+	empty := []int{}
+	capless := make([]int, 0)
+	capped := make([]int, 0, len(xs))
+	out := s.scratch[:0]
+	for _, x := range xs {
+		grown = append(grown, x)     // want `append into "grown", declared without capacity`
+		empty = append(empty, x)     // want `append into "empty", declared without capacity`
+		capless = append(capless, x) // want `append into "capless", declared without capacity`
+		capped = append(capped, x)   // ok: capacity preallocated
+		out = append(out, x)         // ok: reused scratch
+	}
+	s.scratch = out
+}
+
+//alisa:hotpath
+func HotClosure(xs []int) int {
+	total := 0
+	f := func() int { return total }         // want `closure captures "total" and escapes`
+	func() { total++ }()                     // ok: immediately invoked
+	g := func(a, b int) int { return a + b } // ok: captures nothing
+	return f() + g(1, 2)
+}
+
+//alisa:hotpath
+func HotBoxing(xs []int) error {
+	for _, x := range xs {
+		sinkAny(x) // want `passing concrete int to interface parameter`
+		sinkInt(x) // ok: concrete parameter
+		var e error = nil
+		sinkAny(e) // ok: already an interface
+		if x < 0 {
+			return fmt.Errorf("negative %d", x) // ok: cold exit leaving the loop
+		}
+	}
+	sinkAny(len(xs)) // ok: boxing outside any loop is a one-off
+	return nil
+}
+
+//alisa:hotpath
+func HotConversion(xs []int) {
+	for _, x := range xs {
+		_ = any(x) // want `conversion to interface any inside a loop`
+	}
+}
+
+// ColdTwin runs every forbidden idiom unannotated: nothing fires.
+func ColdTwin(xs []int) string {
+	var grown []int
+	for _, x := range xs {
+		grown = append(grown, x)
+		sinkAny(x)
+	}
+	f := func() int { return len(grown) }
+	return fmt.Sprintf("%d", f())
+}

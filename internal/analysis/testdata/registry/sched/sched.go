@@ -1,0 +1,30 @@
+// Package sched is the registry fixture's owning package: it defines a
+// built-in with its constructor and the by-name lookup. Direct
+// construction inside this package is the registry's own wiring and
+// stays legal.
+package sched
+
+import "fmt"
+
+type Scheduler interface{ Name() string }
+
+type Alisa struct{ Beta float64 }
+
+func (*Alisa) Name() string { return "alisa" }
+
+// Manual is a parameterized ablation type deliberately outside the
+// protected set.
+type Manual struct{}
+
+func (*Manual) Name() string { return "manual" }
+
+func NewAlisa() *Alisa { return &Alisa{} }
+
+func NewManual() *Manual { return &Manual{} }
+
+func ByName(name string) (Scheduler, error) {
+	if name == "alisa" {
+		return NewAlisa(), nil
+	}
+	return nil, fmt.Errorf("unknown scheduler %q", name)
+}

@@ -1,0 +1,30 @@
+// Package use consumes the fixture registry from outside the owning
+// package: by-name resolution is legal, direct construction is not.
+package use
+
+import "regfix/sched"
+
+func Good() sched.Scheduler {
+	s, err := sched.ByName("alisa")
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func BadCall() sched.Scheduler {
+	return sched.NewAlisa() // want `direct construction of built-in sched\.NewAlisa bypasses the registry`
+}
+
+func BadLit() sched.Scheduler {
+	return &sched.Alisa{Beta: 0.5} // want `composite literal of built-in sched\.Alisa bypasses the registry`
+}
+
+func OKManual() sched.Scheduler {
+	return sched.NewManual() // ok: parameterized ablation constructor, not registry-reachable
+}
+
+func OKTypeRef(s sched.Scheduler) bool {
+	_, ok := s.(*sched.Alisa) // ok: type reference, not construction
+	return ok
+}

@@ -1,0 +1,17 @@
+// Package a is the malformed-suppression fixture: a reason-less
+// //alisa:ignore suppresses nothing and is itself reported, and a
+// directive naming a different analyzer does not cover the finding.
+package a
+
+import "time"
+
+func Bare() time.Time {
+	//alisa:ignore determinism
+	t := time.Now()
+	return t
+}
+
+func WrongAnalyzer() time.Time {
+	t := time.Now() //alisa:ignore hotpath wrong analyzer name, does not cover determinism
+	return t
+}

@@ -70,6 +70,18 @@ func ByName(name string, ratio float64, layers int) (Policy, error) {
 	return f(ratio, layers)
 }
 
+// MustByName is ByName for static names — the experiment tables whose
+// policy names are compile-time constants. It panics on an unknown name
+// or a factory error, either of which is a programming error for a
+// static configuration, not an input error.
+func MustByName(name string, ratio float64, layers int) Policy {
+	p, err := ByName(name, ratio, layers)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
 // Names lists the paper's comparison set in presentation order.
 // Runtime-registered extensions are resolvable through ByName and
 // enumerable through Registered but do not join this list; the pinned

@@ -341,6 +341,8 @@ func (c *Cluster) Advance(ctx context.Context) (bool, error) {
 
 // advance is one fleet turn without the closed gate; Close's drain uses
 // it directly.
+//
+//alisa:hotpath
 func (c *Cluster) advance(ctx context.Context) (bool, error) {
 	if c.err != nil {
 		return false, c.err

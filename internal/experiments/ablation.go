@@ -40,10 +40,10 @@ func AblationScoring() (*ScoringResult, error) {
 	for _, sparsity := range []float64{0.6, 0.8, 0.9} {
 		ratio := 1 - sparsity
 		policies := []attention.Policy{
-			attention.NewLocal(ratio),
-			attention.NewStrided(ratio),
-			attention.NewH2O(ratio, spec.Layers),
-			attention.NewSWA(ratio, spec.Layers),
+			attention.MustByName("local", ratio, spec.Layers),
+			attention.MustByName("strided", ratio, spec.Layers),
+			attention.MustByName("h2o", ratio, spec.Layers),
+			attention.MustByName("swa", ratio, spec.Layers),
 		}
 		for _, pol := range policies {
 			ev := evalPolicy(spec, pol, steps)
@@ -102,10 +102,10 @@ func AblationNumeric() (*NumericResult, error) {
 	}{
 		{"dense", nil, 0},
 		{"dense+int8", nil, 8},
-		{"local", attention.NewLocal(0.4), 0},
-		{"swa", attention.NewSWA(0.4, cfg.Layers), 0},
-		{"swa+int8", attention.NewSWA(0.4, cfg.Layers), 8},
-		{"swa+int4", attention.NewSWA(0.4, cfg.Layers), 4},
+		{"local", attention.MustByName("local", 0.4, cfg.Layers), 0},
+		{"swa", attention.MustByName("swa", 0.4, cfg.Layers), 0},
+		{"swa+int8", attention.MustByName("swa", 0.4, cfg.Layers), 8},
+		{"swa+int4", attention.MustByName("swa", 0.4, cfg.Layers), 4},
 	}
 	res := &NumericResult{Tokens: tokens}
 	for _, c := range cases {

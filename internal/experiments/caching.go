@@ -37,7 +37,7 @@ func AblationCaching() (*CachingResult, error) {
 	spec := oracle.SpecForModel(model.MustByName("opt-6.7b"), 77)
 	spec.Layers = 1
 	spec.HitterLifetime = 24
-	tr := cachepolicy.TraceFromPolicy(spec, attention.NewSWA(0.2, 1), steps)
+	tr := cachepolicy.TraceFromPolicy(spec, attention.MustByName("swa", 0.2, 1), steps)
 
 	maxReq := 0
 	for _, req := range tr.Requests {

@@ -38,7 +38,7 @@ func ExtensionInt4() (*Int4Result, error) {
 		spec := workload.Alpaca(64)
 		for _, bits := range []int{16, 8, 4} {
 			out, err := core.Run(context.Background(), core.Config{
-				Model: mc, Profile: prof, Scheduler: sched.NewAlisa(),
+				Model: mc, Profile: prof, Scheduler: sched.MustByName("alisa"),
 				Batch: spec.Batch, Input: spec.Input, Output: spec.Output,
 				KVSparsity: 0.8, KVBits: bits,
 			})

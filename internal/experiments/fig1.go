@@ -54,7 +54,7 @@ func Fig1() (*Fig1Result, error) {
 		name  string
 		sched func() sched.Scheduler
 	}{
-		{"GPU only", func() sched.Scheduler { return sched.NewGPUOnly() }},
+		{"GPU only", func() sched.Scheduler { return sched.MustByName("gpu-only") }},
 		{"50% CPU", func() sched.Scheduler { return sched.NewPCIeSplit(0.5) }},
 		{"100% CPU", func() sched.Scheduler { return sched.NewPCIeSplit(1.0) }},
 	}

@@ -37,9 +37,9 @@ func Fig10() (*Fig10Result, error) {
 		spec.Layers = 4
 		for _, sparsity := range []float64{0, 0.2, 0.4, 0.6, 0.8} {
 			ratio := 1 - sparsity
-			var pol attention.Policy = attention.NewSWA(ratio, spec.Layers)
+			pol := attention.MustByName("swa", ratio, spec.Layers)
 			if sparsity == 0 {
-				pol = attention.NewDense()
+				pol = attention.MustByName("dense", ratio, spec.Layers)
 			}
 			ev := evalPolicy(spec, pol, steps)
 			res.Points = append(res.Points, Fig10Point{

@@ -50,7 +50,7 @@ func Fig12a() (*Fig12aResult, error) {
 
 	// FlexGen reference: no phases; reported as one bar.
 	fgRun, err := core.Run(context.Background(), core.Config{
-		Model: mc, Profile: prof, Scheduler: sched.NewFlexGen(),
+		Model: mc, Profile: prof, Scheduler: sched.MustByName("flexgen"),
 		Batch: spec.Batch, Input: spec.Input, Output: spec.Output,
 		KVSparsity: 0, KVBits: 16,
 	})
@@ -69,7 +69,7 @@ func Fig12a() (*Fig12aResult, error) {
 	for _, sparsity := range []float64{0.4, 0.6, 0.8} {
 		// FP16 KV: INT8 compression joins only in the Fig. 12(c) ablation.
 		out, err := core.Run(context.Background(), core.Config{
-			Model: mc, Profile: prof, Scheduler: sched.NewAlisa(),
+			Model: mc, Profile: prof, Scheduler: sched.MustByName("alisa"),
 			Batch: spec.Batch, Input: spec.Input, Output: spec.Output,
 			KVSparsity: sparsity, KVBits: 16,
 		})
@@ -152,7 +152,7 @@ func Fig12b() (*Fig12bResult, error) {
 			KVSparsity: sparsity, KVBits: 16,
 		}
 		withCfg := base
-		withCfg.Scheduler = sched.NewAlisa()
+		withCfg.Scheduler = sched.MustByName("alisa")
 		with, err := core.Run(context.Background(), withCfg)
 		if err != nil {
 			return nil, fmt.Errorf("fig12b with: %w", err)
@@ -212,10 +212,10 @@ func Fig12c() (*Fig12cResult, error) {
 			sparsity  float64
 			bits      int
 		}{
-			{"flexgen", sched.NewFlexGen(), 0, 16},
-			{"+swa", sched.NewFlexGen(), sparsity, 16},
-			{"+ds", sched.NewAlisa(), sparsity, 16},
-			{"+int8", sched.NewAlisa(), sparsity, 8},
+			{"flexgen", sched.MustByName("flexgen"), 0, 16},
+			{"+swa", sched.MustByName("flexgen"), sparsity, 16},
+			{"+ds", sched.MustByName("alisa"), sparsity, 16},
+			{"+int8", sched.MustByName("alisa"), sparsity, 8},
 		}
 		for _, v := range variants {
 			out, err := core.Run(context.Background(), core.Config{

@@ -40,13 +40,13 @@ func Fig2c() (*Fig2cResult, error) {
 	}
 
 	cached := base
-	cached.Scheduler = sched.NewGPUOnly()
+	cached.Scheduler = sched.MustByName("gpu-only")
 	cachedRes, err := core.Run(context.Background(), cached)
 	if err != nil {
 		return nil, fmt.Errorf("fig2c cached: %w", err)
 	}
 	uncached := base
-	uncached.Scheduler = sched.NewNoCache()
+	uncached.Scheduler = sched.MustByName("no-cache")
 	uncachedRes, err := core.Run(context.Background(), uncached)
 	if err != nil {
 		return nil, fmt.Errorf("fig2c uncached: %w", err)

@@ -145,10 +145,10 @@ func Fig4() (*Fig4Result, error) {
 	spec.Layers = 4
 
 	policies := []attention.Policy{
-		attention.NewDense(),
-		attention.NewLocal(ratio),
-		attention.NewStrided(ratio),
-		attention.NewSWA(ratio, spec.Layers),
+		attention.MustByName("dense", ratio, spec.Layers),
+		attention.MustByName("local", ratio, spec.Layers),
+		attention.MustByName("strided", ratio, spec.Layers),
+		attention.MustByName("swa", ratio, spec.Layers),
 	}
 	res := &Fig4Result{KVSparsity: 1 - ratio}
 	for _, pol := range policies {

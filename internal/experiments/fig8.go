@@ -173,12 +173,10 @@ func groupRecalls(mc model.Config, seed int64, cfg Fig8Config) []fig8Recall {
 			}
 			var pol attention.Policy
 			switch method {
-			case "local":
-				pol = attention.NewLocal(ratio)
-			case "strided":
-				pol = attention.NewStrided(ratio)
+			case "local", "strided":
+				pol = attention.MustByName(method, ratio, spec.Layers)
 			case "swa", "alisa":
-				pol = attention.NewSWA(ratio, spec.Layers)
+				pol = attention.MustByName("swa", ratio, spec.Layers)
 			default:
 				panic(fmt.Sprintf("fig8: unknown method %q", method))
 			}

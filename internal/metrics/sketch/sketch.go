@@ -105,6 +105,8 @@ func (s *Sketch) RankErrorBound(n int) float64 {
 // rejected with a panic: the sketch orders its compactors by <, under
 // which NaN is unsortable, and every latency the serving loop produces
 // is a finite clock difference.
+//
+//alisa:hotpath
 func (s *Sketch) Observe(v float64) {
 	if math.IsNaN(v) {
 		panic("sketch: NaN observation")
@@ -141,6 +143,8 @@ func (s *Sketch) capacity(h int) int {
 
 // compress walks the levels bottom-up, halving any buffer at or over
 // capacity into the level above.
+//
+//alisa:hotpath
 func (s *Sketch) compress() {
 	for h := 0; h < len(s.levels); h++ {
 		if len(s.levels[h]) < s.capacity(h) {
@@ -153,6 +157,8 @@ func (s *Sketch) compress() {
 // compact sorts level h and promotes alternate elements (offset flipping
 // per compaction, the deterministic stand-in for KLL's coin toss) to
 // level h+1; an odd leftover stays behind at level h.
+//
+//alisa:hotpath
 func (s *Sketch) compact(h int) {
 	buf := s.levels[h]
 	if len(buf) < 2 {

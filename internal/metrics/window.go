@@ -65,6 +65,8 @@ func (w *Window) Len() int { return w.n }
 // latencies, generated-token count, and whether it met the SLOs (the
 // goodput criterion). The oldest completion falls out once the window is
 // full.
+//
+//alisa:hotpath
 func (w *Window) Observe(clock, ttft, tpot, e2e float64, tokens int, good bool) {
 	if w.n == w.cap {
 		// Evict the slot we are about to overwrite from the aggregates.

@@ -73,6 +73,18 @@ func ByName(name string) (Scheduler, error) {
 	return f(), nil
 }
 
+// MustByName is ByName for static names — the experiment tables and
+// examples whose scheduler names are compile-time constants. It panics
+// on an unknown name, which for a static name is a programming error,
+// not an input error.
+func MustByName(name string) Scheduler {
+	s, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
 // FactoryByName resolves the registered factory once, so callers that
 // construct many instances (compiled engines, per-admission schedulers)
 // skip the lookup on the hot path. Safe for concurrent use.

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/events"
 	"repro/internal/sched"
@@ -112,10 +113,20 @@ func (s *server) clone(obs events.Observer) (*server, error) {
 
 	// Fresh records in one arena chunk; the map lookup by ID replaces any
 	// old-pointer bookkeeping when the active sequences are repointed.
+	// The arena fills in ascending request ID, not map order: every
+	// lookup goes through the map, but letting map iteration pick the
+	// clone's memory layout is exactly the nondeterminism class the
+	// determinism analyzer bans — a future reader of the arena would
+	// inherit a per-process order.
+	ids := make([]int, 0, len(s.records))
+	for id := range s.records {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
 	c.records = make(map[int]*RequestRecord, len(s.records))
 	c.recArena = make([]RequestRecord, 0, len(s.records)+16)
-	for id, rec := range s.records {
-		c.recArena = append(c.recArena, *rec)
+	for _, id := range ids {
+		c.recArena = append(c.recArena, *s.records[id])
 		c.records[id] = &c.recArena[len(c.recArena)-1]
 	}
 

@@ -47,6 +47,8 @@ func (q *reqQueue) Len() int { return len(q.h) }
 func (q *reqQueue) Peek() workload.Request { return q.h[0].req }
 
 // Push enqueues a new request under a fresh ticket.
+//
+//alisa:hotpath
 func (q *reqQueue) Push(req workload.Request) {
 	q.push(queuedReq{req: req, seq: q.nextSeq})
 	q.nextSeq++
@@ -55,12 +57,16 @@ func (q *reqQueue) Push(req workload.Request) {
 // Requeue re-enqueues a previously popped request under its original
 // ticket — the preemption-requeue path, and the step-back of a failed
 // admission probe. The old ticket restores the request's FCFS position.
+//
+//alisa:hotpath
 func (q *reqQueue) Requeue(req workload.Request, seq uint64) {
 	q.push(queuedReq{req: req, seq: seq})
 }
 
 // Pop removes and returns the earliest-keyed waiting request and its
 // ticket. It must not be called on an empty queue.
+//
+//alisa:hotpath
 func (q *reqQueue) Pop() (workload.Request, uint64) {
 	top := q.h[0]
 	last := len(q.h) - 1
@@ -86,6 +92,7 @@ func (q *reqQueue) less(a, b queuedReq) bool {
 	return a.seq < b.seq
 }
 
+//alisa:hotpath
 func (q *reqQueue) push(e queuedReq) {
 	q.h = append(q.h, e)
 	i := len(q.h) - 1
@@ -99,6 +106,7 @@ func (q *reqQueue) push(e queuedReq) {
 	}
 }
 
+//alisa:hotpath
 func (q *reqQueue) siftDown(i int) {
 	n := len(q.h)
 	for {

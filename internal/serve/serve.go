@@ -657,6 +657,8 @@ func (s *server) addRecord(req workload.Request) *RequestRecord {
 // loop. It reports false when the loop is idle (nothing waiting, nothing
 // active). Cancellation is checked once per turn; a cancelled turn
 // releases every active sequence so the leak check still holds.
+//
+//alisa:hotpath
 func (s *server) turn(ctx context.Context) (bool, error) {
 	if s.queue.Len() == 0 && len(s.active) == 0 {
 		return false, nil
@@ -713,6 +715,8 @@ func (s *server) checkLeak() error {
 
 // admit moves arrived requests from the wait queue into the decode batch,
 // FCFS, until the batch cap or capacity stops it.
+//
+//alisa:hotpath
 func (s *server) admit() error {
 	for len(s.active) < s.cfg.MaxBatch && s.queue.Len() > 0 {
 		if s.queue.Peek().Arrival > s.sys.Clock() {
@@ -770,6 +774,8 @@ func (s *server) putSeq(st *seqState) {
 // snapshot diff is attributable) and reports ok=false; the clock cost of
 // the aborted attempt stays charged, as a real engine's aborted prefill
 // would.
+//
+//alisa:hotpath
 func (s *server) tryAdmit(req workload.Request, seq uint64) (bool, error) {
 	sch := s.newSched()
 	rel, ok := sch.(sched.Releaser)
@@ -831,6 +837,8 @@ func (s *server) tryAdmit(req workload.Request, seq uint64) (bool, error) {
 // iterate runs one continuous-batching decode iteration over the active
 // batch: per-sequence placement plans, one fused ragged compute charge,
 // then completions.
+//
+//alisa:hotpath
 func (s *server) iterate() error {
 	iteration := s.iterations
 	startClock := s.sys.Clock()
@@ -955,6 +963,8 @@ func (s *server) iterate() error {
 // preempt releases every byte the victim (the last active sequence) holds
 // and sends its request back to the head of the wait queue to restart from
 // the prompt.
+//
+//alisa:hotpath
 func (s *server) preempt(victim *seqState) {
 	gpu, cpu := victim.rel.Release(victim.ctx)
 	victim.rec.Preemptions++
@@ -985,6 +995,8 @@ func (s *server) preempt(victim *seqState) {
 // and recycles the record on the spot. The sequence is only marked done
 // here; iterate compacts the active list once after the completion
 // sweep, so retiring k of b sequences costs O(b), not O(k·b).
+//
+//alisa:hotpath
 func (s *server) complete(st *seqState) {
 	gpu, cpu := st.rel.Release(st.ctx)
 	st.rec.Finished = s.sys.Clock()

@@ -14,6 +14,9 @@
 //	                             # clock + serve.Run allocation counts
 //	alisa-bench -scale-bench     # paced scale-mode stream: wall clock,
 //	                             # steady-state allocs/request, heap
+//	alisa-bench -prefix-bench    # prefix-sharing workloads cache-off vs
+//	                             # cache-on: hit rate, prefill reduction,
+//	                             # TTFT and goodput deltas (self-checked)
 //
 // With -json the rendered reports are suppressed and a single JSON
 // document is written to stdout instead, so the bench trajectory can be
@@ -118,6 +121,35 @@ type clusterTiming struct {
 	Identical       bool    `json:"parallel_results_identical"`
 }
 
+// prefixWorkload is one workload row of the -prefix-bench report: the
+// same token-carrying workload served cache-off and cache-on, with the
+// prefix-sharing wins the PR claims measured directly.
+type prefixWorkload struct {
+	Name     string `json:"name"`
+	Requests int    `json:"requests"`
+	// HitRate is the cache-on run's prefix hit rate over probed
+	// admissions; SharedBytesPeak its peak shared-cache residency.
+	HitRate         float64 `json:"hit_rate"`
+	SharedBytesPeak int64   `json:"shared_bytes_peak"`
+	// PrefillTokensOff/On and PrefillReduction compare total prefilled
+	// tokens; TTFT and goodput pairs compare the serving metrics.
+	PrefillTokensOff int64   `json:"prefill_tokens_off"`
+	PrefillTokensOn  int64   `json:"prefill_tokens_on"`
+	PrefillReduction float64 `json:"prefill_reduction"`
+	TTFTMeanOff      float64 `json:"ttft_mean_off"`
+	TTFTMeanOn       float64 `json:"ttft_mean_on"`
+	GoodputOff       float64 `json:"goodput_off"`
+	GoodputOn        float64 `json:"goodput_on"`
+	GoodputDelta     float64 `json:"goodput_delta"`
+	Seconds          float64 `json:"seconds"`
+}
+
+// prefixTiming is the -prefix-bench entry in the -json report.
+type prefixTiming struct {
+	BlockTokens int              `json:"block_tokens"`
+	Workloads   []prefixWorkload `json:"workloads"`
+}
+
 // scaleTiming is the -scale-bench entry in the -json report: one paced
 // scale-mode serving stream through the public Session API.
 type scaleTiming struct {
@@ -139,6 +171,7 @@ type report struct {
 	ServeSweep   *sweepTiming   `json:"serve_sweep,omitempty"`
 	ScaleServe   *scaleTiming   `json:"scale_serve,omitempty"`
 	Cluster      *clusterTiming `json:"cluster,omitempty"`
+	Prefix       *prefixTiming  `json:"prefix,omitempty"`
 }
 
 func main() {
@@ -165,6 +198,8 @@ func main() {
 	clusterN := flag.Int("cluster-n", 48, "requests per -cluster-bench cell")
 	clusterRate := flag.Float64("cluster-rate", 6, "arrival rate for -cluster-bench, requests/second")
 	clusterParallel := flag.Int("cluster-parallel", 0, "workers for the parallel pass (0 = GOMAXPROCS)")
+	prefixBench := flag.Bool("prefix-bench", false, "bench the prefix-sharing workloads cache-off vs cache-on")
+	prefixBlock := flag.Int("prefix-block", 16, "prefix cache block size in tokens for -prefix-bench")
 	flag.Parse()
 
 	if err := validateParallelism(*gridParallel, *sweepParallel, *clusterParallel); err != nil {
@@ -191,7 +226,7 @@ func main() {
 		runners = []experiments.Runner{r}
 	case *all:
 		runners = experiments.All()
-	case *sweepBench, *scaleBench, *clusterBench:
+	case *sweepBench, *scaleBench, *clusterBench, *prefixBench:
 		// bench modes alone: no experiments, just their sections.
 	default:
 		flag.Usage()
@@ -227,6 +262,13 @@ func main() {
 			fatal(err)
 		}
 		rep.Cluster = ct
+	}
+	if *prefixBench {
+		pt, err := runPrefixBench(*prefixBlock, *asJSON)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Prefix = pt
 	}
 	rep.TotalSeconds = time.Since(start).Seconds()
 	if *asJSON {
@@ -574,6 +616,109 @@ func runClusterBench(routers, replicas string, n int, rate float64, workers int,
 		return ct, fmt.Errorf("parallel cluster grid diverged from serial results")
 	}
 	return ct, nil
+}
+
+// runPrefixBench serves the three prefix-sharing workloads — multi-turn
+// conversations, agent loops over a common tool preamble, and RAG
+// prompts against a popularity-skewed document set — twice each on
+// matched engines, cache off and cache on, and reports the hit rate and
+// the prefill/TTFT/goodput deltas. The conversation row doubles as a
+// self-check of the PR's acceptance claims: at least a 2× prefill-token
+// reduction and a positive goodput delta, or the bench fails.
+func runPrefixBench(block int, quiet bool) (*prefixTiming, error) {
+	if block <= 0 {
+		return nil, fmt.Errorf("-prefix-block must be positive, got %d", block)
+	}
+	ctx := context.Background()
+	// The 32G card gives the cache a budget that holds a conversation
+	// working set next to the 6.7B weights (the default 16G pairing
+	// thrashes it — the serve tests pin that regime separately).
+	newEngine := func(cacheOn bool) (*alisa.Engine, error) {
+		opts := []alisa.Option{alisa.WithProfile("V100-32GB"), alisa.WithMaxBatch(8)}
+		if cacheOn {
+			opts = append(opts, alisa.WithPrefixCache(alisa.PrefixCache{BlockTokens: block}))
+		}
+		return alisa.New("opt-6.7b", opts...)
+	}
+	workloads := []struct {
+		name string
+		run  func(eng *alisa.Engine) (*alisa.ServeResult, error)
+	}{
+		{"conversation", func(eng *alisa.Engine) (*alisa.ServeResult, error) {
+			tr, err := alisa.NewConversationTrace(6, 8, 4.0, 2048, 21)
+			if err != nil {
+				return nil, err
+			}
+			return eng.Serve(ctx, tr)
+		}},
+		{"agent", func(eng *alisa.Engine) (*alisa.ServeResult, error) {
+			return eng.ServeScripted(ctx, alisa.NewAgentClients(4, 8, 0.25, 2048, 17))
+		}},
+		{"rag", func(eng *alisa.Engine) (*alisa.ServeResult, error) {
+			tr, err := alisa.NewRAGTrace(48, 8.0, 2048, 23)
+			if err != nil {
+				return nil, err
+			}
+			return eng.Serve(ctx, tr)
+		}},
+	}
+
+	pt := &prefixTiming{BlockTokens: block}
+	for _, w := range workloads {
+		start := time.Now()
+		pair := [2]*alisa.ServeResult{}
+		for i, cacheOn := range []bool{false, true} {
+			eng, err := newEngine(cacheOn)
+			if err != nil {
+				return nil, err
+			}
+			if pair[i], err = w.run(eng); err != nil {
+				return nil, fmt.Errorf("%s (cache %t): %w", w.name, cacheOn, err)
+			}
+		}
+		off, on := pair[0], pair[1]
+		row := prefixWorkload{
+			Name:             w.name,
+			Requests:         len(on.Requests),
+			HitRate:          on.PrefixHitRate(),
+			SharedBytesPeak:  on.PrefixSharedBytes,
+			PrefillTokensOff: off.PrefillTokens,
+			PrefillTokensOn:  on.PrefillTokens,
+			TTFTMeanOff:      off.TTFT.Mean,
+			TTFTMeanOn:       on.TTFT.Mean,
+			GoodputOff:       off.Goodput,
+			GoodputOn:        on.Goodput,
+			GoodputDelta:     on.Goodput - off.Goodput,
+			Seconds:          time.Since(start).Seconds(),
+		}
+		if on.PrefillTokens > 0 {
+			row.PrefillReduction = float64(off.PrefillTokens) / float64(on.PrefillTokens)
+		}
+		pt.Workloads = append(pt.Workloads, row)
+	}
+
+	if !quiet {
+		fmt.Printf("== prefix-sharing bench — cache-off vs cache-on, %d-token blocks\n\n", block)
+		tb := textfmt.NewTable("workload", "requests", "hit%", "prefill off", "prefill on", "reduction",
+			"TTFT off", "TTFT on", "goodput off", "goodput on")
+		for _, w := range pt.Workloads {
+			tb.AddRow(w.Name, fmt.Sprint(w.Requests),
+				fmt.Sprintf("%.0f%%", w.HitRate*100),
+				fmt.Sprint(w.PrefillTokensOff), fmt.Sprint(w.PrefillTokensOn),
+				fmt.Sprintf("%.1f×", w.PrefillReduction),
+				textfmt.Seconds(w.TTFTMeanOff), textfmt.Seconds(w.TTFTMeanOn),
+				fmt.Sprintf("%.1f", w.GoodputOff), fmt.Sprintf("%.1f", w.GoodputOn))
+		}
+		fmt.Println(tb.String())
+	}
+	conv := pt.Workloads[0]
+	if conv.PrefillReduction < 2 {
+		return pt, fmt.Errorf("conversation prefill reduction %.2f× under the 2× acceptance floor", conv.PrefillReduction)
+	}
+	if conv.GoodputDelta <= 0 {
+		return pt, fmt.Errorf("conversation goodput delta %.3f not positive", conv.GoodputDelta)
+	}
+	return pt, nil
 }
 
 // runScaleBench streams n requests through one scale-mode Session

@@ -18,9 +18,24 @@
 //	                                             # events on stderr
 //	alisa-serve -closed-loop 1,2,4,8 -think 0.5  # closed-loop clients:
 //	                                             # latency vs concurrency
+//	alisa-serve -prefix-cache -workload conv     # multi-turn conversations
+//	                                             # with block-granular
+//	                                             # prefix KV sharing
+//	alisa-serve -prefix-cache -workload agent \
+//	            -closed-loop 2,4                 # agent loops sharing a
+//	                                             # tool preamble
 //
 // The baselines run dense FP16 KV; ALISA runs at -sparsity / -bits
 // (paper headline: 0.8 / INT8), mirroring the lockstep evaluation.
+//
+// -workload switches the request generator from the plain Poisson trace
+// to one of the prefix-sharing shapes: "conv" (multi-turn conversations
+// whose turns replay growing histories; open or closed loop), "agent"
+// (tool-calling loops sharing a common preamble; closed loop only), or
+// "rag" (retrieval prompts over a popularity-skewed document set; open
+// loop only). With -prefix-cache the engines share block-aligned prompt
+// prefixes copy-on-write across requests, and the tables grow hit-rate
+// and prefilled-token columns.
 //
 // -closed-loop switches the workload regime: instead of replaying a
 // Poisson arrival trace (open loop, offered load fixed), each of N
@@ -71,9 +86,12 @@ func main() {
 	think := flag.Float64("think", 0.5, "mean client think time in seconds for -closed-loop (exponential)")
 	parallel := flag.Int("parallel", 1, "concurrent sweep cells (0 = GOMAXPROCS workers, 1 = serial)")
 	progress := flag.Bool("progress", false, "stream admission/preemption/completion events to stderr")
+	prefixCache := flag.Bool("prefix-cache", false, "share block-aligned prompt prefixes copy-on-write across requests")
+	prefixBlock := flag.Int("prefix-block", 16, "prefix cache block size in tokens (with -prefix-cache)")
+	workloadName := flag.String("workload", "", "prefix-sharing workload: conv, agent (closed loop only), or rag (open loop only); empty = plain Poisson")
 	flag.Parse()
 
-	if err := validateFlags(*n, *parallel, *think, *sweep, *closedLoop); err != nil {
+	if err := validateFlags(*n, *parallel, *think, *sweep, *closedLoop, *workloadName, *prefixCache, *prefixBlock); err != nil {
 		fatal(err)
 	}
 	names := strings.Split(*scheds, ",")
@@ -124,6 +142,9 @@ func main() {
 		if name == "alisa" {
 			opts = append(opts, alisa.WithKVSparsity(*sparsity), alisa.WithKVBits(*bits))
 		}
+		if *prefixCache {
+			opts = append(opts, alisa.WithPrefixCache(alisa.PrefixCache{BlockTokens: *prefixBlock}))
+		}
 		if *progress {
 			// One observer instance serves every cell of this scheduler;
 			// with -parallel those cells run concurrently, so delivery is
@@ -143,7 +164,8 @@ func main() {
 	defer stop()
 
 	if len(clientCounts) > 0 {
-		runClosedLoop(ctx, names, engines, compileErr, clientCounts, *n, *think, *seed, *parallel, *modelName)
+		runClosedLoop(ctx, names, engines, compileErr, clientCounts, *n, *think, *seed, *parallel,
+			*modelName, *workloadName, *prefixCache)
 		return
 	}
 
@@ -152,7 +174,11 @@ func main() {
 	// no matter which worker finishes a cell first.
 	traces := make([]alisa.TraceWorkload, len(rates))
 	for ri, r := range rates {
-		traces[ri] = alisa.PoissonTrace(*n, r, *seed)
+		tr, err := makeTrace(*workloadName, *n, r, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		traces[ri] = tr
 	}
 	cells := len(rates) * len(names)
 	results, errs, started := runCells(ctx, cells, *parallel, func(cellCtx context.Context, c int) (*alisa.ServeResult, error) {
@@ -164,26 +190,27 @@ func main() {
 	})
 
 	for ri := range rates {
-		fmt.Printf("## %s, %d requests, Poisson %.2f req/s (offered load seed %d)\n\n",
-			*modelName, *n, rates[ri], *seed)
-		tb := textfmt.NewTable("scheduler", "tput tok/s", "goodput", "SLO%", "TTFT p50", "TTFT p99",
-			"TPOT p50", "TPOT p99", "preempt", "batch")
+		fmt.Printf("## %s, %d %s requests, %.2f req/s (seed %d)\n\n",
+			*modelName, len(traces[ri]), workloadLabel(*workloadName), rates[ri], *seed)
+		tb := textfmt.NewTable(tableCols(*prefixCache, "scheduler", "tput tok/s", "goodput", "SLO%",
+			"TTFT p50", "TTFT p99", "TPOT p50", "TPOT p99", "preempt", "batch")...)
 		for si, name := range names {
 			c := ri*len(names) + si
 			res := results[c]
-			suffix, rowErr := classifyCell(compileErr[name], started[c], res, errs[c], ctx.Err() != nil, *n)
+			suffix, rowErr := classifyCell(compileErr[name], started[c], res, errs[c], ctx.Err() != nil, len(traces[ri]))
 			if rowErr != nil {
 				addErrorRow(tb, name, rowErr)
 				continue
 			}
-			tb.AddRow(name+suffix,
+			tb.AddRow(prefixRow(*prefixCache, res,
+				name+suffix,
 				fmt.Sprintf("%.1f", res.Throughput),
 				fmt.Sprintf("%.1f", res.Goodput),
 				fmt.Sprintf("%.0f%%", res.SLOAttainment*100),
 				textfmt.Seconds(res.TTFT.P50), textfmt.Seconds(res.TTFT.P99),
 				textfmt.Seconds(res.TPOT.P50), textfmt.Seconds(res.TPOT.P99),
 				fmt.Sprintf("%d", res.Preemptions),
-				fmt.Sprintf("%.1f", res.MeanBatch))
+				fmt.Sprintf("%.1f", res.MeanBatch))...)
 		}
 		fmt.Println(tb.String())
 	}
@@ -194,7 +221,8 @@ func main() {
 
 // validateFlags rejects inconsistent serve parameters before any engine
 // compiles; table-tested in main_test.go.
-func validateFlags(n, parallel int, think float64, sweep, closedLoop string) error {
+func validateFlags(n, parallel int, think float64, sweep, closedLoop, workload string,
+	prefixCache bool, prefixBlock int) error {
 	if n <= 0 {
 		return fmt.Errorf("-n must be positive, got %d", n)
 	}
@@ -207,7 +235,76 @@ func validateFlags(n, parallel int, think float64, sweep, closedLoop string) err
 	if think < 0 {
 		return fmt.Errorf("-think must be ≥ 0, got %v", think)
 	}
+	switch workload {
+	case "", "conv":
+	case "agent":
+		if closedLoop == "" {
+			return fmt.Errorf("-workload agent is closed-loop only; add -closed-loop")
+		}
+	case "rag":
+		if closedLoop != "" {
+			return fmt.Errorf("-workload rag is open-loop only; drop -closed-loop")
+		}
+	default:
+		return fmt.Errorf("unknown -workload %q (want conv, agent, or rag)", workload)
+	}
+	if prefixCache && prefixBlock <= 0 {
+		return fmt.Errorf("-prefix-block must be positive, got %d", prefixBlock)
+	}
 	return nil
+}
+
+// convTurns and scriptMaxSeq fix the workload-shape knobs the CLI does
+// not expose: six-turn conversations and agent loops, capped at the
+// catalog's universal 2048-token context.
+const (
+	convTurns    = 6
+	scriptMaxSeq = 2048
+)
+
+// makeTrace builds one open-loop trace at the offered rate: the plain
+// Poisson shape trace, or a token-carrying prefix-sharing workload. n is
+// the request budget; the conversation shape rounds it up to whole
+// conversations.
+func makeTrace(workload string, n int, rate float64, seed int64) (alisa.TraceWorkload, error) {
+	switch workload {
+	case "conv":
+		return alisa.NewConversationTrace((n+convTurns-1)/convTurns, convTurns, rate, scriptMaxSeq, seed)
+	case "rag":
+		return alisa.NewRAGTrace(n, rate, scriptMaxSeq, seed)
+	}
+	return alisa.PoissonTrace(n, rate, seed), nil
+}
+
+// workloadLabel names the request generator in table headings.
+func workloadLabel(workload string) string {
+	switch workload {
+	case "conv":
+		return "conversation"
+	case "agent":
+		return "agent-loop"
+	case "rag":
+		return "RAG"
+	}
+	return "Poisson"
+}
+
+// tableCols appends the prefix-cache columns to a table header when the
+// cache is on; prefixRow does the same for a metric row.
+func tableCols(prefixOn bool, cols ...string) []string {
+	if prefixOn {
+		cols = append(cols, "hit%", "prefill tok")
+	}
+	return cols
+}
+
+func prefixRow(prefixOn bool, res *alisa.ServeResult, cells ...string) []string {
+	if prefixOn {
+		cells = append(cells,
+			fmt.Sprintf("%.0f%%", res.PrefixHitRate()*100),
+			fmt.Sprintf("%d", res.PrefillTokens))
+	}
+	return cells
 }
 
 // runCells executes one scheduler-grid's cells on the bounded worker
@@ -248,21 +345,45 @@ func classifyCell(compileErr error, started bool, res *alisa.ServeResult, runErr
 
 // runClosedLoop runs the closed-loop latency-vs-concurrency grid: for
 // every (client count × scheduler) cell, n requests are issued by that
-// many closed-loop clients through Engine.ServeClosedLoop, and each
-// scheduler prints one table of serving metrics against concurrency.
+// many closed-loop clients — Engine.ServeClosedLoop for the plain
+// workload, Engine.ServeScripted with conversation or agent scripts for
+// the prefix-sharing ones — and each scheduler prints one table of
+// serving metrics against concurrency.
 // Cells run on the same bounded worker pool as the sweep; every cell is
 // deterministic in the seed, so the tables are stable across -parallel
 // settings.
 func runClosedLoop(ctx context.Context, names []string, engines map[string]*alisa.Engine,
-	compileErr map[string]error, clientCounts []int, n int, think float64, seed int64, parallel int, modelName string) {
+	compileErr map[string]error, clientCounts []int, n int, think float64, seed int64, parallel int,
+	modelName, workload string, prefixOn bool) {
+	// Scripted workloads issue whole per-client scripts instead of a
+	// shared request budget: each client runs budget(clients) requests.
+	budget := func(clients int) int {
+		if workload == "" {
+			return n
+		}
+		per := n / clients
+		if per < 1 {
+			per = 1
+		}
+		return per * clients
+	}
 	cells := len(clientCounts) * len(names)
 	results, errs, started := runCells(ctx, cells, parallel, func(cellCtx context.Context, c int) (*alisa.ServeResult, error) {
 		eng := engines[names[c%len(names)]]
 		if eng == nil {
 			return nil, nil // compile error renders from compileErr
 		}
+		clients := clientCounts[c/len(names)]
+		switch workload {
+		case "conv":
+			return eng.ServeScripted(cellCtx,
+				alisa.NewConversationClients(clients, budget(clients)/clients, think, scriptMaxSeq, seed))
+		case "agent":
+			return eng.ServeScripted(cellCtx,
+				alisa.NewAgentClients(clients, budget(clients)/clients, think, scriptMaxSeq, seed))
+		}
 		return eng.ServeClosedLoop(cellCtx, alisa.ClosedLoop{
-			Clients:   clientCounts[c/len(names)],
+			Clients:   clients,
 			Requests:  n,
 			ThinkTime: think,
 			Seed:      seed,
@@ -270,20 +391,21 @@ func runClosedLoop(ctx context.Context, names []string, engines map[string]*alis
 	})
 
 	for si, name := range names {
-		fmt.Printf("## %s, closed loop: %d requests, think %.2fs (seed %d) — %s\n\n",
-			modelName, n, think, seed, name)
-		tb := textfmt.NewTable("clients", "tput tok/s", "goodput", "SLO%", "TTFT p50", "TTFT p99",
-			"TPOT p50", "TPOT p99", "E2E p50", "preempt", "batch")
+		fmt.Printf("## %s, closed loop (%s): %d requests, think %.2fs (seed %d) — %s\n\n",
+			modelName, workloadLabel(workload), n, think, seed, name)
+		tb := textfmt.NewTable(tableCols(prefixOn, "clients", "tput tok/s", "goodput", "SLO%",
+			"TTFT p50", "TTFT p99", "TPOT p50", "TPOT p99", "E2E p50", "preempt", "batch")...)
 		for ci, clients := range clientCounts {
 			c := ci*len(names) + si
 			res := results[c]
 			label := fmt.Sprintf("%d", clients)
-			suffix, rowErr := classifyCell(compileErr[name], started[c], res, errs[c], ctx.Err() != nil, n)
+			suffix, rowErr := classifyCell(compileErr[name], started[c], res, errs[c], ctx.Err() != nil, budget(clients))
 			if rowErr != nil {
 				addErrorRow(tb, label, rowErr)
 				continue
 			}
-			tb.AddRow(label+suffix,
+			tb.AddRow(prefixRow(prefixOn, res,
+				label+suffix,
 				fmt.Sprintf("%.1f", res.Throughput),
 				fmt.Sprintf("%.1f", res.Goodput),
 				fmt.Sprintf("%.0f%%", res.SLOAttainment*100),
@@ -291,7 +413,7 @@ func runClosedLoop(ctx context.Context, names []string, engines map[string]*alis
 				textfmt.Seconds(res.TPOT.P50), textfmt.Seconds(res.TPOT.P99),
 				textfmt.Seconds(res.E2E.P50),
 				fmt.Sprintf("%d", res.Preemptions),
-				fmt.Sprintf("%.1f", res.MeanBatch))
+				fmt.Sprintf("%.1f", res.MeanBatch))...)
 		}
 		fmt.Println(tb.String())
 	}

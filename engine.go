@@ -25,7 +25,8 @@ type ConfigError struct {
 	// "Scheduler", "KVSparsity", "KVBits", "MaxBatch", "SLOTTFT",
 	// "SLOTPOT", "Observer", "MetricsWindow", "Batch", "Input",
 	// "Output", "Trace", "Policy", "Steps", "Clients", "Requests",
-	// "ThinkTime", "Replicas", "Router", or "Autoscale".
+	// "ThinkTime", "Replicas", "Router", "Autoscale", "PrefixBlock",
+	// or "PrefixBudget".
 	Field  string
 	Value  any
 	Reason string
@@ -69,6 +70,8 @@ type Engine struct {
 	captureLog    bool
 	metricsWindow int
 	exactMetrics  int
+	prefixBlock   int
+	prefixBudget  int64
 
 	// compiled state
 	model    model.Config
@@ -201,6 +204,41 @@ func WithMetricsWindow(n int) Option {
 func WithExactMetrics(n int) Option {
 	return func(e *Engine) error {
 		e.exactMetrics = n
+		return nil
+	}
+}
+
+// PrefixCache configures the serving loop's shared prefix KV cache; see
+// WithPrefixCache.
+type PrefixCache struct {
+	// BlockTokens is the sharing granularity: prompts are cached and
+	// matched in blocks of this many token IDs. Required, positive; 16
+	// is a reasonable default (the alisa-serve CLI's).
+	BlockTokens int
+	// BudgetBytes caps the cache's simulated GPU-resident bytes. 0
+	// defaults to a quarter of the GPU headroom left after weights and
+	// activations are reserved.
+	BudgetBytes int64
+}
+
+// WithPrefixCache enables copy-on-write prefix KV sharing in Serve,
+// Session, and cluster runs (DESIGN.md §13): prompts of admitted
+// requests are cached block-granularly in a radix index, and later
+// requests whose token IDs share a block-aligned prefix skip prefilling
+// the matched tokens, paying only a fast HBM copy of the shared KV.
+// Only requests that carry token IDs (Request.Tokens — the conversation,
+// agent, and RAG workloads populate them) participate; shape-only
+// requests always prefill in full. Off by default, and with it off the
+// serving paths are bit-identical to an engine without the option.
+func WithPrefixCache(pc PrefixCache) Option {
+	return func(e *Engine) error {
+		if pc.BlockTokens <= 0 {
+			return &ConfigError{Field: "PrefixBlock", Value: pc.BlockTokens, Reason: "block must be positive tokens"}
+		}
+		if pc.BudgetBytes < 0 {
+			return &ConfigError{Field: "PrefixBudget", Value: pc.BudgetBytes, Reason: "budget must be non-negative bytes"}
+		}
+		e.prefixBlock, e.prefixBudget = pc.BlockTokens, pc.BudgetBytes
 		return nil
 	}
 }
@@ -357,6 +395,8 @@ func (e *Engine) serveConfig(trace TraceWorkload, obs Observer) serve.Config {
 		Observer:     obs,
 		CaptureLog:   e.captureLog,
 		ExactMetrics: e.exactMetrics,
+		PrefixBlock:  e.prefixBlock,
+		PrefixBudget: e.prefixBudget,
 	}
 }
 

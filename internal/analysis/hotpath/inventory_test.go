@@ -13,10 +13,10 @@ import (
 
 // wantAnnotated is the agreed hot-path set: the serving loop's
 // admission/decode path, the wait-queue heap ops, rolling-window and
-// sketch ingestion, and the cluster turn loop. The test fails in BOTH
-// directions — a lost annotation shrinks coverage silently, and a new
-// annotation is a contract change that belongs in this list (and in
-// DESIGN.md §12).
+// sketch ingestion, the cluster turn loop, and the prefix-cache probe/
+// insert/evict machinery. The test fails in BOTH directions — a lost
+// annotation shrinks coverage silently, and a new annotation is a
+// contract change that belongs in this list (and in DESIGN.md §12).
 var wantAnnotated = []string{
 	"internal/cluster.(*Cluster).advance",
 	"internal/metrics.(*Window).Observe",
@@ -29,11 +29,29 @@ var wantAnnotated = []string{
 	"internal/serve.(*reqQueue).push",
 	"internal/serve.(*reqQueue).siftDown",
 	"internal/serve.(*server).admit",
+	"internal/serve.(*server).cacheAcquire",
+	"internal/serve.(*server).cacheRelease",
+	"internal/serve.(*server).cacheRelieve",
 	"internal/serve.(*server).complete",
 	"internal/serve.(*server).iterate",
 	"internal/serve.(*server).preempt",
+	"internal/serve.(*server).seqKVBytes",
 	"internal/serve.(*server).tryAdmit",
 	"internal/serve.(*server).turn",
+	"internal/serve/prefix.(*Index).EvictOne",
+	"internal/serve/prefix.(*Index).Insert",
+	"internal/serve/prefix.(*Index).Lease",
+	"internal/serve/prefix.(*Index).Probe",
+	"internal/serve/prefix.(*Index).Release",
+	"internal/serve/prefix.(*Index).afford",
+	"internal/serve/prefix.(*Index).evict",
+	"internal/serve/prefix.(*Index).findChild",
+	"internal/serve/prefix.(*Index).lruPushTail",
+	"internal/serve/prefix.(*Index).lruReplace",
+	"internal/serve/prefix.(*Index).lruUnlink",
+	"internal/serve/prefix.(*Index).matchedBlocks",
+	"internal/serve/prefix.(*Index).split",
+	"internal/serve/prefix.cmpBlock",
 }
 
 // TestAnnotationInventory scans every non-test source file in the repo

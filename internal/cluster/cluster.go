@@ -465,8 +465,15 @@ type fleetTap struct {
 	r *replica
 }
 
-func (t *fleetTap) OnStep(events.Step)             {}
-func (t *fleetTap) OnAdmission(events.Admission)   {}
+func (t *fleetTap) OnStep(events.Step) {}
+
+func (t *fleetTap) OnAdmission(e events.Admission) {
+	if e.PrefixProbed {
+		t.r.window.ObservePrefix(e.CachedTokens, e.SharedBytes)
+		t.c.window.ObservePrefix(e.CachedTokens, e.SharedBytes)
+	}
+}
+
 func (t *fleetTap) OnFirstToken(events.FirstToken) {}
 func (t *fleetTap) OnToken(events.Token)           {}
 func (t *fleetTap) OnPreemption(events.Preemption) {}

@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/memsim"
+	"repro/internal/model"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// prefixReplicaConfig is the cache-on replica used by the fleet prefix
+// tests: the 32G card gives each replica's cache a budget that holds a
+// conversation working set (see internal/serve's prefix tests for the
+// operating-point rationale).
+func prefixReplicaConfig() serve.Config {
+	return serve.Config{
+		Model:       model.MustByName("opt-6.7b"),
+		Profile:     memsim.V100_32G(),
+		Scheduler:   "alisa",
+		KVBits:      16,
+		MaxBatch:    8,
+		PrefixBlock: 16,
+	}
+}
+
+func prefixFleetConfig(n int, router string) Config {
+	cfg := Config{Router: router}
+	for i := 0; i < n; i++ {
+		cfg.Replicas = append(cfg.Replicas, prefixReplicaConfig())
+	}
+	return cfg
+}
+
+// fleetConvTrace is the routed multi-turn workload: enough interleaved
+// conversations that a 3-replica fleet sees real routing choices. The
+// conversation count is deliberately coprime to the replica count —
+// with a multiple of 3, round-robin over the interleaved turn stream
+// degenerates into accidental perfect affinity.
+func fleetConvTrace(t *testing.T) workload.Trace {
+	t.Helper()
+	tr, err := workload.NewConversationTrace(10, 6, 6.0, 2048, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestFleetPrefixDeterministic extends the fleet determinism contract to
+// cache-on replicas: with refcounted COW blocks, leases, and eviction
+// live inside every replica, serial and grid-parallel replays must still
+// produce bit-identical fingerprints for every routing policy.
+func TestFleetPrefixDeterministic(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	tr := fleetConvTrace(t)
+	routers := Routers()
+	serial := make([]string, len(routers))
+	for i, router := range routers {
+		res, err := Replay(context.Background(), prefixFleetConfig(3, router), tr)
+		if err != nil {
+			t.Fatalf("%s: %v", router, err)
+		}
+		if res.Completed != len(tr) {
+			t.Fatalf("%s: completed %d of %d", router, res.Completed, len(tr))
+		}
+		serial[i] = res.Fingerprint()
+	}
+
+	parallel := make([]string, len(routers))
+	errs := make([]error, len(routers))
+	_ = grid.Run(context.Background(), len(routers), 4, func(ctx context.Context, i int) {
+		res, err := Replay(ctx, prefixFleetConfig(3, routers[i]), tr)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		parallel[i] = res.Fingerprint()
+	})
+	for i, router := range routers {
+		if errs[i] != nil {
+			t.Fatalf("%s (parallel): %v", router, errs[i])
+		}
+		if serial[i] != parallel[i] {
+			t.Fatalf("%s: cache-on parallel replay diverged from serial", router)
+		}
+	}
+}
+
+// TestPrefixAffinityRouting pins the routing half of the prefix-cache
+// story: with independent per-replica caches, a router that scatters a
+// conversation's turns (round-robin) wastes most of the reuse, while
+// prefix-affinity rendezvous hashing lands every turn on the replica
+// already holding its blocks — a measurably higher fleet hit rate and
+// fewer prefilled tokens for the same trace.
+func TestPrefixAffinityRouting(t *testing.T) {
+	tr := fleetConvTrace(t)
+	run := func(router string) *Result {
+		res, err := Replay(context.Background(), prefixFleetConfig(3, router), tr)
+		if err != nil {
+			t.Fatalf("%s: %v", router, err)
+		}
+		if res.Completed != len(tr) {
+			t.Fatalf("%s: completed %d of %d", router, res.Completed, len(tr))
+		}
+		return res
+	}
+	rr := run("round-robin")
+	aff := run("prefix-affinity")
+
+	if aff.PrefixHits == 0 {
+		t.Fatal("prefix-affinity fleet recorded no cache hits")
+	}
+	if aff.PrefixHitRate() <= rr.PrefixHitRate() {
+		t.Errorf("prefix-affinity hit rate %.3f not above round-robin %.3f",
+			aff.PrefixHitRate(), rr.PrefixHitRate())
+	}
+	if aff.PrefillTokens >= rr.PrefillTokens {
+		t.Errorf("prefix-affinity prefilled %d tokens, round-robin %d — affinity should prefill less",
+			aff.PrefillTokens, rr.PrefillTokens)
+	}
+	// The fleet window observed the same probes the roll-up summed.
+	if aff.Window.PrefixHits != aff.PrefixHits || aff.Window.PrefixMisses != aff.PrefixMisses {
+		t.Errorf("fleet window prefix counters %d/%d diverged from roll-up %d/%d",
+			aff.Window.PrefixHits, aff.Window.PrefixMisses, aff.PrefixHits, aff.PrefixMisses)
+	}
+}

@@ -55,6 +55,27 @@ type Result struct {
 	ScaleUps     int
 	ScaleDowns   int
 	PeakReplicas int
+
+	// Prefix-cache fleet aggregates, summed over replicas (each replica
+	// keeps an independent cache; routing is the only sharing mechanism,
+	// which is what the hit-rate-by-router sweeps measure). All zero when
+	// the cache is off. Deliberately NOT rendered into Fingerprint: the
+	// fingerprint format predates the cache and stays byte-stable.
+	PrefillTokens      int64
+	PrefixHits         int
+	PrefixMisses       int
+	PrefixCachedTokens int64
+	// PrefixSharedBytes sums the replicas' peak cache residency.
+	PrefixSharedBytes int64
+}
+
+// PrefixHitRate is the fleet prefix-cache hit rate over probed
+// admissions, 0 before any probe.
+func (r *Result) PrefixHitRate() float64 {
+	if probes := r.PrefixHits + r.PrefixMisses; probes > 0 {
+		return float64(r.PrefixHits) / float64(probes)
+	}
+	return 0
 }
 
 // rollup aggregates the finalized replicas into the fleet Result.
@@ -83,8 +104,15 @@ func (c *Cluster) rollup() *Result {
 		tokens += r.tokens
 		goodTokens += r.goodTokens
 		sloMet += r.sloMet
-		if r.result != nil && r.result.Makespan > res.Makespan {
-			res.Makespan = r.result.Makespan
+		if r.result != nil {
+			if r.result.Makespan > res.Makespan {
+				res.Makespan = r.result.Makespan
+			}
+			res.PrefillTokens += r.result.PrefillTokens
+			res.PrefixHits += r.result.PrefixHits
+			res.PrefixMisses += r.result.PrefixMisses
+			res.PrefixCachedTokens += r.result.PrefixCachedTokens
+			res.PrefixSharedBytes += r.result.PrefixSharedBytes
 		}
 	}
 	if res.Makespan > 0 {

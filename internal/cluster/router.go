@@ -114,6 +114,7 @@ func init() {
 	RegisterRouter("least-outstanding", func() Router { return leastOutstanding{} })
 	RegisterRouter("least-kv", func() Router { return leastKV{} })
 	RegisterRouter("affinity", func() Router { return affinity{} })
+	RegisterRouter("prefix-affinity", func() Router { return prefixAffinity{} })
 }
 
 // roundRobin cycles through the live replicas in ID order. The cursor
@@ -196,6 +197,53 @@ func (affinity) Pick(req workload.Request, views []ReplicaView) int {
 		}
 	}
 	return best
+}
+
+// prefixPinTokens bounds how many leading token IDs prefixAffinity
+// hashes: enough to tell conversations (distinct system prompts) apart,
+// cheap enough to stay off the routing hot path's conscience.
+const prefixPinTokens = 64
+
+// prefixAffinity pins each request's prompt prefix to a replica by
+// rendezvous hashing over the first prefixPinTokens token IDs. Requests
+// that share a prefix — a conversation's turns, an agent fleet's common
+// tool preamble — then land on the replica whose prefix cache already
+// holds their blocks, which is what turns per-replica caching into a
+// fleet-level hit rate (replicas keep independent caches; the router is
+// the only cross-replica sharing mechanism). Requests without token IDs
+// fall back to request-ID affinity.
+type prefixAffinity struct{}
+
+func (prefixAffinity) Name() string { return "prefix-affinity" }
+
+func (prefixAffinity) Pick(req workload.Request, views []ReplicaView) int {
+	key := prefixKey(req)
+	best, bestScore := 0, rendezvousScore(key, views[0].ID)
+	for i := 1; i < len(views); i++ {
+		if s := rendezvousScore(key, views[i].ID); s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// prefixKey hashes the request's leading token IDs with FNV-1a; a
+// token-less request keys on its ID, degrading to plain affinity.
+func prefixKey(req workload.Request) uint64 {
+	if len(req.Tokens) == 0 {
+		return uint64(req.ID)
+	}
+	n := len(req.Tokens)
+	if n > prefixPinTokens {
+		n = prefixPinTokens
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, tok := range req.Tokens[:n] {
+		putU64(buf[:], uint64(tok))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
 }
 
 // rendezvousScore hashes (key, replica ID) with FNV-1a. 64-bit FNV over

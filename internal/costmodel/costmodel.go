@@ -176,6 +176,17 @@ func (c Cost) Quantize(fp16Bytes int64) Sample {
 	return Sample{Seconds: float64(bytes)/c.Prof.HBMBandwidth + launchLatency, Bytes: bytes}
 }
 
+// PrefixReuse costs wiring a cached prefix's KV into a newly admitted
+// sequence: one streaming HBM read of the shared blocks and one write
+// into the sequence's private tensors, plus a launch. Orders of
+// magnitude cheaper than re-prefilling the same tokens — that gap is
+// the whole prefix-cache payoff — but not free, so a cache hit still
+// charges bandwidth proportional to the reused bytes.
+func (c Cost) PrefixReuse(kvBytes int64) Sample {
+	bytes := 2 * kvBytes
+	return Sample{Seconds: float64(bytes)/c.Prof.HBMBandwidth + launchLatency, Bytes: bytes}
+}
+
 // AttnConfig describes one attention-module invocation.
 type AttnConfig struct {
 	Batch    int

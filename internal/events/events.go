@@ -41,6 +41,16 @@ type Admission struct {
 	Input, Output int
 	// Batch is the decode-batch occupancy after the admission.
 	Batch int
+	// PrefixProbed reports whether the serving loop's shared prefix cache
+	// probed this request — true only when the cache is on and the
+	// request carries token IDs. The two fields below are zero otherwise.
+	PrefixProbed bool
+	// CachedTokens is how many leading prompt tokens were served from the
+	// shared prefix cache instead of being prefilled.
+	CachedTokens int
+	// SharedBytes is the cache's simulated resident bytes right after the
+	// admission (the request's own prefix grafted in).
+	SharedBytes int64
 }
 
 // FirstToken reports a request producing its first output token — the

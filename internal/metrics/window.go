@@ -36,6 +36,15 @@ type Window struct {
 	// into sortScratch. Both stabilise at the window capacity.
 	lin         []float64
 	sortScratch []float64
+
+	// Prefix-cache counters, fed by ObservePrefix from admission events.
+	// Unlike the completion samples these are running totals over the
+	// session, not windowed — a hit rate over the last N completions
+	// would swing too wildly to steer by.
+	prefixHits         int
+	prefixMisses       int
+	prefixCachedTokens int64
+	prefixSharedBytes  int64
 }
 
 // NewWindow returns a rolling window over the last n completions. n must
@@ -95,6 +104,19 @@ func (w *Window) Observe(clock, ttft, tpot, e2e float64, tokens int, good bool) 
 	}
 }
 
+// ObservePrefix records one prefix-cache-probed admission: how many
+// leading prompt tokens the shared cache served (0 on a miss) and the
+// cache's resident bytes after the admission.
+func (w *Window) ObservePrefix(cachedTokens int, sharedBytes int64) {
+	if cachedTokens > 0 {
+		w.prefixHits++
+	} else {
+		w.prefixMisses++
+	}
+	w.prefixCachedTokens += int64(cachedTokens)
+	w.prefixSharedBytes = sharedBytes
+}
+
 // WindowSnapshot is one point-in-time digest of a rolling Window.
 type WindowSnapshot struct {
 	// Count is the completions in the window; the zero snapshot (no
@@ -117,6 +139,18 @@ type WindowSnapshot struct {
 	// SLOAttainment is the fraction of windowed completions that met
 	// both SLOs.
 	SLOAttainment float64
+
+	// PrefixHits and PrefixMisses are the session-cumulative prefix-cache
+	// probe outcomes (admissions of token-carrying requests); all four
+	// prefix fields stay zero when the cache is off. PrefixHitRate is
+	// hits over probes.
+	PrefixHits, PrefixMisses int
+	PrefixHitRate            float64
+	// PrefixCachedTokens is the cumulative prompt tokens served from the
+	// shared cache; PrefixSharedBytes the cache's resident bytes at the
+	// most recent admission.
+	PrefixCachedTokens int64
+	PrefixSharedBytes  int64
 }
 
 // Snapshot digests the current window. The three latency summaries are
@@ -124,13 +158,20 @@ type WindowSnapshot struct {
 // interpolation), so a window as large as the run converges to the final
 // Result's percentiles.
 func (w *Window) Snapshot() WindowSnapshot {
+	var snap WindowSnapshot
+	snap.PrefixHits, snap.PrefixMisses = w.prefixHits, w.prefixMisses
+	snap.PrefixCachedTokens = w.prefixCachedTokens
+	snap.PrefixSharedBytes = w.prefixSharedBytes
+	if probes := w.prefixHits + w.prefixMisses; probes > 0 {
+		snap.PrefixHitRate = float64(w.prefixHits) / float64(probes)
+	}
+	// The prefix counters are filled even with no completions yet:
+	// admissions precede completions, often by a long prefill.
 	if w.n == 0 {
-		return WindowSnapshot{}
+		return snap
 	}
-	snap := WindowSnapshot{
-		Count:         w.n,
-		SLOAttainment: float64(w.goodCount) / float64(w.n),
-	}
+	snap.Count = w.n
+	snap.SLOAttainment = float64(w.goodCount) / float64(w.n)
 	// Ring order is overwrite order; the oldest live sample sits at head
 	// when full, at 0 while filling.
 	start := 0
@@ -172,6 +213,11 @@ func (w *Window) Clone() *Window {
 		totalTokens: w.totalTokens,
 		goodTokens:  w.goodTokens,
 		goodCount:   w.goodCount,
+
+		prefixHits:         w.prefixHits,
+		prefixMisses:       w.prefixMisses,
+		prefixCachedTokens: w.prefixCachedTokens,
+		prefixSharedBytes:  w.prefixSharedBytes,
 	}
 	return c
 }

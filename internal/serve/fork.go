@@ -100,6 +100,9 @@ func (s *server) clone(obs events.Observer) (*server, error) {
 		admissionBlockedHeadroom: s.admissionBlockedHeadroom,
 		lastAdmitErr:             s.lastAdmitErr,
 		kvTokenFP16:              s.kvTokenFP16,
+		cacheTokenBytes:          s.cacheTokenBytes,
+		prefillTokens:            s.prefillTokens,
+		prefixPeakBytes:          s.prefixPeakBytes,
 		log:                      append([]string(nil), s.log...),
 		res: &Result{
 			Scheduler: s.res.Scheduler,
@@ -109,6 +112,12 @@ func (s *server) clone(obs events.Observer) (*server, error) {
 	c.cfg.Observer = obs
 	if s.dig != nil {
 		c.dig = s.dig.clone()
+	}
+	if s.cache != nil {
+		// Leases deep-copy with the index (refcounts are node state), and
+		// each cloned sequence's leaseLen re-walks its own tokens on
+		// release, so no pointer translation is needed.
+		c.cache = s.cache.Clone()
 	}
 
 	// Fresh records in one arena chunk; the map lookup by ID replaces any
@@ -146,14 +155,15 @@ func (s *server) clone(obs events.Observer) (*server, error) {
 		ctx.Sys = c.sys
 		ctx.Breakdown = c.res.Breakdown
 		c.active = append(c.active, &seqState{
-			req:  st.req,
-			sch:  sch,
-			rel:  rel,
-			ctx:  ctx,
-			j:    st.j,
-			rec:  c.records[st.req.ID],
-			seq:  st.seq,
-			done: st.done,
+			req:      st.req,
+			sch:      sch,
+			rel:      rel,
+			ctx:      ctx,
+			j:        st.j,
+			rec:      c.records[st.req.ID],
+			seq:      st.seq,
+			done:     st.done,
+			leaseLen: st.leaseLen,
 		})
 	}
 	return c, nil

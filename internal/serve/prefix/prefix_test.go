@@ -1,0 +1,447 @@
+package prefix
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+const (
+	testBlock      = 4
+	testBlockBytes = 64
+	bigBudget      = int64(1) << 40
+)
+
+// naiveIndex is the O(n²) reference: it remembers every inserted
+// (block-aligned) sequence and answers probes by scanning them all.
+// The trie stores exactly the union of inserted prefixes, so the
+// longest block-aligned common prefix with any inserted sequence is
+// the ground truth for Probe.
+type naiveIndex struct {
+	bs   int
+	seqs [][]int
+}
+
+func (n *naiveIndex) insert(tokens []int) {
+	aligned := len(tokens) - len(tokens)%n.bs
+	n.seqs = append(n.seqs, append([]int(nil), tokens[:aligned]...))
+}
+
+func (n *naiveIndex) probe(query []int) int {
+	best := 0
+	for _, s := range n.seqs {
+		l := 0
+		for l < len(query) && l < len(s) && query[l] == s[l] {
+			l++
+		}
+		l -= l % n.bs
+		if l > best {
+			best = l
+		}
+	}
+	return best
+}
+
+// genSeq draws a random token sequence, half the time branching off a
+// prefix of an already-generated one so the trie sees real sharing,
+// divergence, and mid-span splits.
+func genSeq(rng *rand.Rand, pool [][]int) []int {
+	n := 1 + rng.Intn(40)
+	seq := make([]int, 0, n+40)
+	if len(pool) > 0 && rng.Intn(2) == 0 {
+		base := pool[rng.Intn(len(pool))]
+		if len(base) > 0 {
+			k := rng.Intn(len(base) + 1)
+			seq = append(seq, base[:k]...)
+		}
+	}
+	for len(seq) < n {
+		seq = append(seq, rng.Intn(3))
+	}
+	return seq
+}
+
+func TestProbeMatchesNaiveReference(t *testing.T) {
+	t.Parallel()
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			x := NewIndex(testBlock, testBlockBytes, bigBudget)
+			ref := &naiveIndex{bs: testBlock}
+			var pool [][]int
+			type leaseRec struct {
+				tokens []int
+				n      int
+			}
+			var leases []leaseRec
+			for op := 0; op < 600; op++ {
+				seq := genSeq(rng, pool)
+				pool = append(pool, seq)
+				switch rng.Intn(4) {
+				case 0, 1: // insert (unbounded budget: never truncates)
+					x.Insert(seq, bigBudget, float64(op))
+					ref.insert(seq)
+				case 2: // probe
+					if got, want := x.Probe(seq), ref.probe(seq); got != want {
+						t.Fatalf("op %d: Probe=%d, naive reference=%d (seq %v)", op, got, want, seq)
+					}
+				case 3: // lease/release churn — must never change probe results
+					if len(leases) > 0 && rng.Intn(2) == 0 {
+						l := leases[len(leases)-1]
+						leases = leases[:len(leases)-1]
+						x.Release(l.tokens[:l.n], float64(op))
+					} else {
+						n := x.Lease(seq)
+						leases = append(leases, leaseRec{seq, n})
+					}
+				}
+				if err := x.CheckInvariants(false); err != nil {
+					t.Fatalf("op %d: %v", op, err)
+				}
+			}
+			for _, l := range leases {
+				x.Release(l.tokens[:l.n], 1e9)
+			}
+			if err := x.CheckInvariants(true); err != nil {
+				t.Fatalf("after releasing all leases: %v", err)
+			}
+			// Every insert was full-length, so every stored prefix must probe
+			// back completely.
+			for _, s := range ref.seqs {
+				if got := x.Probe(s); got != len(s) {
+					t.Fatalf("inserted sequence probes %d of %d tokens", got, len(s))
+				}
+			}
+		})
+	}
+}
+
+func TestEvictionRespectsBudgetAndLRU(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(7))
+	budget := int64(8) * testBlockBytes
+	x := NewIndex(testBlock, testBlockBytes, budget)
+	ref := &naiveIndex{bs: testBlock}
+	var pool [][]int
+	for op := 0; op < 500; op++ {
+		seq := genSeq(rng, pool)
+		pool = append(pool, seq)
+		switch rng.Intn(3) {
+		case 0, 1:
+			x.Insert(seq, bigBudget, float64(op))
+			ref.insert(seq)
+		case 2:
+			x.EvictOne()
+		}
+		if x.ResidentBytes() > budget {
+			t.Fatalf("op %d: resident %d exceeds budget %d", op, x.ResidentBytes(), budget)
+		}
+		// Eviction and truncation only ever remove entries, so the trie can
+		// never claim a longer match than the naive upper bound.
+		if got, bound := x.Probe(seq), ref.probe(seq); got > bound {
+			t.Fatalf("op %d: Probe=%d exceeds naive upper bound %d", op, got, bound)
+		}
+		if err := x.CheckInvariants(true); err != nil {
+			t.Fatalf("op %d: %v", op, err)
+		}
+	}
+}
+
+func TestLRUEvictsOldestFirst(t *testing.T) {
+	t.Parallel()
+	x := NewIndex(testBlock, testBlockBytes, bigBudget)
+	// Three disjoint single-block entries inserted at times 1, 2, 3.
+	a := []int{10, 10, 10, 10}
+	b := []int{20, 20, 20, 20}
+	c := []int{30, 30, 30, 30}
+	x.Insert(a, bigBudget, 1)
+	x.Insert(b, bigBudget, 2)
+	x.Insert(c, bigBudget, 3)
+	// Touch a (lease+release at t=4): it becomes the most recent.
+	x.Release(a[:x.Lease(a)], 4)
+	if freed := x.EvictOne(); freed != testBlockBytes {
+		t.Fatalf("evict freed %d bytes, want %d", freed, testBlockBytes)
+	}
+	if x.Probe(b) != 0 {
+		t.Fatal("LRU eviction should have removed b (oldest untouched)")
+	}
+	x.EvictOne()
+	if x.Probe(c) != 0 {
+		t.Fatal("second eviction should have removed c")
+	}
+	if x.Probe(a) != len(a) {
+		t.Fatal("a was touched last and must survive two evictions")
+	}
+	if err := x.CheckInvariants(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeasedPathIsPinned(t *testing.T) {
+	t.Parallel()
+	x := NewIndex(testBlock, testBlockBytes, bigBudget)
+	seq := []int{1, 1, 1, 1, 2, 2, 2, 2}
+	x.Insert(seq, bigBudget, 1)
+	n := x.Lease(seq)
+	if n != len(seq) {
+		t.Fatalf("leased %d of %d tokens", n, len(seq))
+	}
+	for i := 0; i < 10; i++ {
+		if freed := x.EvictOne(); freed != 0 {
+			t.Fatalf("evicted %d bytes from a fully leased trie", freed)
+		}
+	}
+	if x.Probe(seq) != len(seq) {
+		t.Fatal("leased path must survive eviction pressure")
+	}
+	x.Release(seq[:n], 2)
+	total := int64(0)
+	for {
+		freed := x.EvictOne()
+		if freed == 0 {
+			break
+		}
+		total += freed
+	}
+	if total != int64(len(seq)/testBlock)*testBlockBytes {
+		t.Fatalf("released path freed %d bytes, want all %d", total, int64(len(seq)/testBlock)*testBlockBytes)
+	}
+	if x.ResidentBytes() != 0 {
+		t.Fatalf("resident %d after full eviction", x.ResidentBytes())
+	}
+	if err := x.CheckInvariants(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCOWSplitPreservesBytesAndRefs(t *testing.T) {
+	t.Parallel()
+	x := NewIndex(testBlock, testBlockBytes, bigBudget)
+	// One 4-block span, fully leased.
+	a := []int{1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4}
+	x.Insert(a, bigBudget, 1)
+	leaseA := x.Lease(a)
+	before := x.ResidentBytes()
+
+	// Diverge after 2 blocks: forces a copy-on-write split of the leased
+	// span. The split itself must add no bytes; only b's unique suffix
+	// (2 blocks) is new.
+	b := []int{1, 1, 1, 1, 2, 2, 2, 2, 9, 9, 9, 9, 8, 8, 8, 8}
+	added, freed := x.Insert(b, bigBudget, 2)
+	if want := int64(2) * testBlockBytes; added != want || freed != 0 {
+		t.Fatalf("divergent insert added=%d freed=%d, want added=%d freed=0", added, freed, want)
+	}
+	if x.ResidentBytes() != before+2*testBlockBytes {
+		t.Fatalf("resident %d, want %d", x.ResidentBytes(), before+2*testBlockBytes)
+	}
+	if got := x.Probe(a); got != len(a) {
+		t.Fatalf("split broke a's match: %d of %d", got, len(a))
+	}
+	if got := x.Probe(b); got != len(b) {
+		t.Fatalf("b matches %d of %d after insert", got, len(b))
+	}
+	if err := x.CheckInvariants(false); err != nil {
+		t.Fatal(err)
+	}
+
+	// a's lease was split across two nodes; releasing the original leased
+	// length must drop every refcount back to zero.
+	leaseB := x.Lease(b)
+	x.Release(a[:leaseA], 3)
+	x.Release(b[:leaseB], 4)
+	if err := x.CheckInvariants(true); err != nil {
+		t.Fatalf("refcounts after split + release: %v", err)
+	}
+}
+
+func TestInsertTruncatesAtBudget(t *testing.T) {
+	t.Parallel()
+	budget := int64(2) * testBlockBytes
+	x := NewIndex(testBlock, testBlockBytes, budget)
+	seq := []int{1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4}
+	added, _ := x.Insert(seq, bigBudget, 1)
+	if added != budget {
+		t.Fatalf("added %d bytes into a %d budget", added, budget)
+	}
+	if got := x.Probe(seq); got != 2*testBlock {
+		t.Fatalf("truncated insert probes %d tokens, want %d", got, 2*testBlock)
+	}
+	// Headroom binds tighter than budget.
+	y := NewIndex(testBlock, testBlockBytes, bigBudget)
+	added, _ = y.Insert(seq, testBlockBytes, 1)
+	if added != testBlockBytes {
+		t.Fatalf("added %d bytes into %d headroom", added, testBlockBytes)
+	}
+	if err := x.CheckInvariants(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(11))
+	x := NewIndex(testBlock, testBlockBytes, 16*testBlockBytes)
+	var pool [][]int
+	for op := 0; op < 200; op++ {
+		seq := genSeq(rng, pool)
+		pool = append(pool, seq)
+		x.Insert(seq, bigBudget, float64(op))
+	}
+	lease := pool[0]
+	leaseN := x.Lease(lease)
+
+	c := x.Clone()
+	if c.ResidentBytes() != x.ResidentBytes() {
+		t.Fatalf("clone resident %d, original %d", c.ResidentBytes(), x.ResidentBytes())
+	}
+	snapshot := make([]int, len(pool))
+	for i, s := range pool {
+		snapshot[i] = c.Probe(s)
+	}
+
+	// Mutate the original heavily; the clone must not move.
+	for op := 0; op < 200; op++ {
+		seq := genSeq(rng, pool)
+		x.Insert(seq, bigBudget, float64(1000+op))
+		x.EvictOne()
+	}
+	x.Release(lease[:leaseN], 1e6)
+	for i, s := range pool {
+		if got := c.Probe(s); got != snapshot[i] {
+			t.Fatalf("clone drifted: probe(pool[%d])=%d, snapshot %d", i, got, snapshot[i])
+		}
+	}
+	if err := c.CheckInvariants(false); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two clones of the same index must evict in the same order — the
+	// clone preserves the LRU list, not just the structure.
+	c2 := x.Clone()
+	c3 := x.Clone()
+	for {
+		f2, f3 := c2.EvictOne(), c3.EvictOne()
+		if f2 != f3 {
+			t.Fatalf("clones diverged during eviction: %d vs %d", f2, f3)
+		}
+		if f2 == 0 {
+			break
+		}
+	}
+}
+
+// TestDeterministicAcrossGoroutines drives four independent indices
+// through the identical op sequence on four goroutines (the suite runs
+// under -race with GOMAXPROCS pinned to 4) and requires bit-identical
+// observable traces.
+func TestDeterministicAcrossGoroutines(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	run := func() string {
+		rng := rand.New(rand.NewSource(99))
+		x := NewIndex(testBlock, testBlockBytes, 32*testBlockBytes)
+		var pool [][]int
+		var trace []byte
+		for op := 0; op < 400; op++ {
+			seq := genSeq(rng, pool)
+			pool = append(pool, seq)
+			switch rng.Intn(4) {
+			case 0, 1:
+				a, f := x.Insert(seq, bigBudget, float64(op))
+				trace = fmt.Appendf(trace, "i%d,%d;", a, f)
+			case 2:
+				trace = fmt.Appendf(trace, "p%d;", x.Probe(seq))
+			case 3:
+				trace = fmt.Appendf(trace, "e%d;", x.EvictOne())
+			}
+		}
+		return string(trace)
+	}
+
+	results := make([]string, 4)
+	var wg sync.WaitGroup
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = run()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(results); i++ {
+		if results[i] != results[0] {
+			t.Fatalf("goroutine %d produced a different trace", i)
+		}
+	}
+}
+
+// TestProbeAllocFree pins the steady-state contract: probing a warm
+// trie allocates nothing.
+func TestProbeAllocFree(t *testing.T) {
+	x, queries := warmIndex()
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		x.Probe(queries[i%len(queries)])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Probe allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// warmIndex builds a populated trie plus a query mix of hits, partial
+// hits, and misses.
+func warmIndex() (*Index, [][]int) {
+	rng := rand.New(rand.NewSource(5))
+	x := NewIndex(16, 1<<14, bigBudget)
+	var pool [][]int
+	for i := 0; i < 64; i++ {
+		seq := make([]int, 0, 256)
+		if len(pool) > 0 && i%2 == 0 {
+			base := pool[rng.Intn(len(pool))]
+			seq = append(seq, base[:rng.Intn(len(base)+1)]...)
+		}
+		for len(seq) < 64+rng.Intn(192) {
+			seq = append(seq, rng.Intn(1000))
+		}
+		pool = append(pool, seq)
+		x.Insert(seq, bigBudget, float64(i))
+	}
+	queries := make([][]int, 0, len(pool))
+	for _, s := range pool {
+		q := append([]int(nil), s...)
+		if rng.Intn(3) == 0 && len(q) > 8 {
+			q[len(q)/2] = -1 // force a partial match
+		}
+		queries = append(queries, q)
+	}
+	return x, queries
+}
+
+func BenchmarkTrieProbe(b *testing.B) {
+	x, queries := warmIndex()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Probe(queries[i%len(queries)])
+	}
+}
+
+func BenchmarkTrieInsertEvict(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	var pool [][]int
+	for i := 0; i < 256; i++ {
+		pool = append(pool, genSeq(rng, pool))
+	}
+	x := NewIndex(testBlock, testBlockBytes, 64*testBlockBytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Insert(pool[i%len(pool)], bigBudget, float64(i))
+	}
+}

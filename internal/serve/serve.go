@@ -59,6 +59,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/sched"
+	"repro/internal/serve/prefix"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -126,6 +127,22 @@ type Config struct {
 	// selects DefaultExactMetrics; negative means scale mode from the
 	// first request. See DESIGN.md §10.
 	ExactMetrics int
+
+	// PrefixBlock enables the shared prefix KV cache (DESIGN.md §13):
+	// prompts of admitted requests are cached in PrefixBlock-token blocks
+	// in a copy-on-write radix index, and later requests whose token IDs
+	// share a block-aligned prefix skip prefilling the matched tokens,
+	// paying a fast HBM copy of the shared KV instead. 0 — the default —
+	// leaves the cache out entirely: the loop is bit-identical to a build
+	// without it. Only requests that carry token IDs
+	// (workload.Request.Tokens) participate; shape-only requests always
+	// prefill in full.
+	PrefixBlock int
+
+	// PrefixBudget caps the cache's simulated GPU-resident bytes. 0
+	// defaults to a quarter of the post-reservation headroom. Ignored
+	// when PrefixBlock is 0.
+	PrefixBudget int64
 }
 
 // DefaultExactMetrics is the exact-metrics threshold when
@@ -174,6 +191,12 @@ func (c Config) validateStatic() error {
 		return fmt.Errorf("serve: KV bits must be 4, 8 or 16, got %d", c.KVBits)
 	case c.MaxBatch < 0:
 		return fmt.Errorf("serve: negative batch cap %d", c.MaxBatch)
+	case c.PrefixBlock < 0:
+		return fmt.Errorf("serve: negative prefix cache block of %d tokens", c.PrefixBlock)
+	case c.PrefixBudget < 0:
+		return fmt.Errorf("serve: negative prefix cache budget of %d bytes", c.PrefixBudget)
+	case c.PrefixBudget > 0 && c.PrefixBlock == 0:
+		return fmt.Errorf("serve: prefix cache budget set but the cache is off (PrefixBlock 0)")
 	}
 	if c.Factory == nil {
 		if _, err := sched.FactoryByName(c.Scheduler); err != nil {
@@ -251,6 +274,23 @@ type Result struct {
 	Preemptions int
 	// MeanBatch is the decode-batch occupancy averaged over iterations.
 	MeanBatch float64
+
+	// PrefillTokens is the total prompt tokens actually prefilled across
+	// all admissions (readmissions after preemption included). With the
+	// prefix cache on, tokens served from shared blocks are excluded —
+	// the prefill-reduction claims compare this field across cache-off
+	// and cache-on runs of the same trace.
+	PrefillTokens int64
+	// PrefixHits and PrefixMisses count admissions of token-carrying
+	// requests whose prefix-cache probe matched at least one block /
+	// matched nothing. Both are zero when the cache is off.
+	PrefixHits, PrefixMisses int
+	// PrefixCachedTokens is the total leading prompt tokens served from
+	// the shared cache, summed over admissions.
+	PrefixCachedTokens int64
+	// PrefixSharedBytes is the peak simulated bytes resident in the
+	// shared prefix cache over the run.
+	PrefixSharedBytes int64
 	// PeakGPU and PeakCPU are the memory high-water marks.
 	PeakGPU, PeakCPU int64
 
@@ -258,6 +298,15 @@ type Result struct {
 	// admission, preemption, and completion; the replay tests pin it
 	// byte for byte.
 	EventLog []string
+}
+
+// PrefixHitRate is the prefix-cache hit rate over probed admissions,
+// 0 before any probe (and always 0 with the cache off).
+func (r *Result) PrefixHitRate() float64 {
+	if probes := r.PrefixHits + r.PrefixMisses; probes > 0 {
+		return float64(r.PrefixHits) / float64(probes)
+	}
+	return 0
 }
 
 // RenderEventLog joins the event log into one newline-terminated string.
@@ -286,6 +335,11 @@ type seqState struct {
 	// the active list once after the completion sweep instead of paying a
 	// linear scan-and-shift per completion.
 	done bool
+	// leaseLen is the token length of the sequence's prefix-cache lease
+	// (0 when the cache is off or the request carries no tokens); the
+	// release re-walks req.Tokens[:leaseLen], so cloning a loop never has
+	// to translate node pointers for in-flight leases.
+	leaseLen int
 }
 
 // stepped pairs a sequence with its plan for the current iteration.
@@ -362,6 +416,18 @@ type server struct {
 	// kvTokenFP16 is the per-run constant Model.KVBytesPerToken(2),
 	// hoisted out of the quantization charge.
 	kvTokenFP16 int64
+
+	// cache is the shared prefix KV index, nil unless Config.PrefixBlock
+	// is set; every cache touch in the loop is gated on it, which is what
+	// keeps cache-off runs bit-identical to the pre-cache tree.
+	cache *prefix.Index
+	// cacheTokenBytes is the per-token KV footprint at serving precision
+	// — what one cached token costs in simulated GPU bytes.
+	cacheTokenBytes int64
+	// prefillTokens totals the prompt tokens actually prefilled;
+	// prefixPeakBytes is the cache's resident-byte high-water mark.
+	prefillTokens   int64
+	prefixPeakBytes int64
 
 	log []string
 	res *Result
@@ -482,6 +548,7 @@ func newLoop(cfg Config) (*Loop, error) {
 	if err := s.reserveStatic(); err != nil {
 		return nil, err
 	}
+	s.newPrefixCache()
 	return l, nil
 }
 
@@ -504,6 +571,8 @@ func (l *Loop) Inject(req workload.Request) error {
 		return fmt.Errorf("serve: request %d sequence %d exceeds max %d", req.ID, req.Input+req.Output, s.cfg.Model.MaxSeq)
 	case req.Arrival < 0:
 		return fmt.Errorf("serve: request %d has negative arrival %v", req.ID, req.Arrival)
+	case req.Tokens != nil && len(req.Tokens) != req.Input:
+		return fmt.Errorf("serve: request %d carries %d token IDs for an input of %d", req.ID, len(req.Tokens), req.Input)
 	}
 	// Duplicate detection spans every request ever injected on the exact
 	// path; in scale mode completed records are recycled, so it covers
@@ -692,6 +761,7 @@ func (s *server) turn(ctx context.Context) (bool, error) {
 func (s *server) cancel(cause error) error {
 	for _, st := range s.active {
 		gpu, cpu := st.rel.Release(st.ctx)
+		s.cacheRelease(st)
 		if s.captureLog {
 			s.logf("t=%.9f cancel r=%d gen=%d freedGPU=%d freedCPU=%d",
 				s.sys.Clock(), st.req.ID, st.j, gpu, cpu)
@@ -704,11 +774,20 @@ func (s *server) cancel(cause error) error {
 	return cause
 }
 
-// checkLeak verifies usage returned exactly to the static reservations.
+// checkLeak verifies usage returned exactly to the static reservations —
+// plus, with the cache on, the cache's resident bytes, whose refcounts
+// must all have returned to zero (every lease released).
 func (s *server) checkLeak() error {
-	if gpu, cpu := s.sys.Usage(); gpu != s.staticGPU || cpu != s.staticCPU {
+	wantGPU := s.staticGPU
+	if s.cache != nil {
+		if err := s.cache.CheckInvariants(true); err != nil {
+			return fmt.Errorf("serve: prefix cache leak: %w", err)
+		}
+		wantGPU += s.cache.ResidentBytes()
+	}
+	if gpu, cpu := s.sys.Usage(); gpu != wantGPU || cpu != s.staticCPU {
 		return fmt.Errorf("serve: KV accounting leak: usage gpu=%d cpu=%d, static gpu=%d cpu=%d",
-			gpu, cpu, s.staticGPU, s.staticCPU)
+			gpu, cpu, wantGPU, s.staticCPU)
 	}
 	return nil
 }
@@ -739,6 +818,13 @@ func (s *server) admit() error {
 		}
 		if !ok {
 			s.queue.Requeue(req, seq)
+			// Shed speculative cache before giving up on the head: evicting
+			// unreferenced shared blocks frees real headroom, and a re-probe
+			// with the same memory is pointless without it.
+			if s.cacheRelieve(s.seqKVBytes(req.Input, req.Output)) {
+				s.admissionBlockedHeadroom = -1
+				continue
+			}
 			s.admissionBlockedHeadroom = s.sys.GPUHeadroom()
 			return nil
 		}
@@ -796,8 +882,22 @@ func (s *server) tryAdmit(req workload.Request, seq uint64) (bool, error) {
 		Breakdown:    s.res.Breakdown,
 	}
 
+	cached := 0
+	if s.cache != nil && len(req.Tokens) > 0 {
+		cached = s.cache.Probe(req.Tokens)
+		if cached >= req.Input {
+			// A full hit still prefills the final block: the sequence's
+			// first logits have to be computed from something.
+			cached -= s.cfg.PrefixBlock
+		}
+	}
 	gpuBefore, cpuBefore := s.sys.Usage()
-	prefill := s.cost.PrefillTime(s.cfg.Model, 1, req.Input)
+	prefill := s.cost.PrefillTime(s.cfg.Model, 1, req.Input-cached)
+	if cached > 0 {
+		// Reuse is not free: the shared KV is copied into the sequence's
+		// private allocation at HBM bandwidth.
+		prefill += s.cost.PrefixReuse(int64(cached) * s.cacheTokenBytes).Seconds
+	}
 	s.sys.Advance(prefill)
 	s.res.Breakdown.Add(trace.CatPrefill, prefill)
 	if err := sch.Init(ctx); err != nil {
@@ -811,20 +911,40 @@ func (s *server) tryAdmit(req workload.Request, seq uint64) (bool, error) {
 		return false, nil
 	}
 
+	s.prefillTokens += int64(req.Input - cached)
+	if s.cache != nil && len(req.Tokens) > 0 {
+		s.cache.CountProbe(cached)
+		n, err := s.cacheAcquire(req.Tokens)
+		if err != nil {
+			return false, err
+		}
+		st.leaseLen = n
+	}
 	rec := s.records[req.ID]
 	rec.Admitted = s.sys.Clock() - prefill
 	rec.FirstToken = s.sys.Clock()
 	st.req, st.sch, st.rel, st.rec, st.seq = req, sch, rel, rec, seq
 	s.active = append(s.active, st)
 	if s.captureLog {
-		s.logf("t=%.9f admit r=%d in=%d out=%d wait=%.9f batch=%d",
-			s.sys.Clock(), req.ID, req.Input, req.Output, rec.Admitted-req.Arrival, len(s.active))
+		if s.cache != nil {
+			s.logf("t=%.9f admit r=%d in=%d out=%d wait=%.9f batch=%d cached=%d",
+				s.sys.Clock(), req.ID, req.Input, req.Output, rec.Admitted-req.Arrival, len(s.active), cached)
+		} else {
+			s.logf("t=%.9f admit r=%d in=%d out=%d wait=%.9f batch=%d",
+				s.sys.Clock(), req.ID, req.Input, req.Output, rec.Admitted-req.Arrival, len(s.active))
+		}
 	}
 	if s.cfg.Observer != nil {
-		s.cfg.Observer.OnAdmission(events.Admission{
+		adm := events.Admission{
 			Request: req.ID, Clock: s.sys.Clock(), Wait: rec.Admitted - req.Arrival,
 			Input: req.Input, Output: req.Output, Batch: len(s.active),
-		})
+		}
+		if s.cache != nil && len(req.Tokens) > 0 {
+			adm.PrefixProbed = true
+			adm.CachedTokens = cached
+			adm.SharedBytes = s.cache.ResidentBytes()
+		}
+		s.cfg.Observer.OnAdmission(adm)
 		// Prefill just finished: this is the request's first output token
 		// (re-emitted after each readmission; the last one is the TTFT).
 		s.cfg.Observer.OnFirstToken(events.FirstToken{
@@ -865,7 +985,12 @@ func (s *server) iterate() error {
 		// failed attempt already charged stay on the clock and the PCIe
 		// counters — deliberate: a real engine's aborted iteration also
 		// consumed link bandwidth before re-issuing its fetches. A
-		// sequence that fails alone can never finish.
+		// sequence that fails alone can never finish. Unreferenced shared
+		// cache blocks go first in either case: they are a speculative
+		// speedup, live KV is work in flight.
+		if s.cacheRelieve(s.seqKVBytes(st.req.Input, st.req.Output)) {
+			continue
+		}
 		if len(s.active) == 1 {
 			return fmt.Errorf("serve: request %d cannot be served even alone: %w", st.req.ID, err)
 		}
@@ -967,6 +1092,7 @@ func (s *server) iterate() error {
 //alisa:hotpath
 func (s *server) preempt(victim *seqState) {
 	gpu, cpu := victim.rel.Release(victim.ctx)
+	s.cacheRelease(victim)
 	victim.rec.Preemptions++
 	s.preemptions++
 	if s.captureLog {
@@ -999,6 +1125,7 @@ func (s *server) preempt(victim *seqState) {
 //alisa:hotpath
 func (s *server) complete(st *seqState) {
 	gpu, cpu := st.rel.Release(st.ctx)
+	s.cacheRelease(st)
 	st.rec.Finished = s.sys.Clock()
 	st.done = true
 	s.admissionBlockedHeadroom = -1
@@ -1106,6 +1233,11 @@ func (s *server) finalize() {
 		res.MeanBatch = float64(s.batchSum) / float64(s.iterations)
 	}
 	res.PeakGPU, res.PeakCPU = s.sys.Peak()
+	res.PrefillTokens = s.prefillTokens
+	if s.cache != nil {
+		res.PrefixHits, res.PrefixMisses, res.PrefixCachedTokens = s.cache.Stats()
+		res.PrefixSharedBytes = s.prefixPeakBytes
+	}
 
 	if s.streaming {
 		d := s.dig

@@ -1,0 +1,249 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file holds the prefix-sharing workloads: request streams whose
+// prompts carry token IDs with realistic sharing structure — growing
+// conversation histories, agent loops over one huge tool preamble, and
+// RAG prompts grounded in a small document pool. Each client draws from
+// its own seeded RNG stream (seed + client stride), so replay is
+// bit-identical regardless of how clients interleave at serving time.
+
+// clientSeedStride separates per-client RNG streams; the same stride
+// the closed-loop session clients use.
+const clientSeedStride = 1_000_003
+
+// prefixVocab is the token vocabulary of the prefix workloads. Matching
+// is exact token-ID equality, so the size only shapes collision odds.
+const prefixVocab = 1024
+
+// ClosedClient is one deterministic closed-loop client script. Each
+// Next call returns the client's next request — prompt token IDs,
+// output length, and the think time separating it from the previous
+// completion — or ok=false when the script is exhausted. The returned
+// token slice is owned by the caller (never aliased by later calls).
+type ClosedClient interface {
+	Next() (tokens []int, output int, think float64, ok bool)
+}
+
+// convClient is one multi-turn conversation: a per-client system
+// prompt, then turns whose prompts replay the full growing history
+// (earlier prompts and synthesized assistant replies) plus fresh user
+// tokens — the workload shape where prefix caching pays most.
+type convClient struct {
+	gen     *Generator
+	rng     *rand.Rand
+	think   float64
+	maxSeq  int
+	hist    []int
+	prevOut int
+	turn    int
+	turns   int
+}
+
+func (c *convClient) Next() ([]int, int, float64, bool) {
+	if c.turn >= c.turns {
+		return nil, 0, 0, false
+	}
+	if c.turn > 0 {
+		// Fold the previous assistant reply into the history; the token
+		// IDs are synthesized from the client's stream, deterministically.
+		c.hist = append(c.hist, c.gen.Prompt(c.prevOut)...)
+	}
+	c.hist = append(c.hist, c.gen.Prompt(16+c.rng.Intn(33))...)
+	output := 32 + c.rng.Intn(65)
+	if c.maxSeq > 0 && len(c.hist)+output > c.maxSeq {
+		// The conversation hit the context window; the script ends.
+		return nil, 0, 0, false
+	}
+	c.turn++
+	c.prevOut = output
+	tokens := append([]int(nil), c.hist...)
+	return tokens, output, c.rng.ExpFloat64() * c.think, true
+}
+
+// NewConversationClients returns n multi-turn conversation clients with
+// up to turns turns each, exponential think times of the given mean
+// between a completion and the next turn, and histories capped by
+// maxSeq (a conversation that would overflow the context window ends
+// early). Each client's system prompt and token stream come from its
+// own seeded RNG, so two clients never share a prefix — sharing is
+// within a conversation, which is exactly what a prefix-affinity router
+// must keep on one replica.
+func NewConversationClients(n, turns int, think float64, maxSeq int, seed int64) []ClosedClient {
+	clients := make([]ClosedClient, n)
+	for i := range clients {
+		s := seed + int64(i)*clientSeedStride
+		c := &convClient{
+			gen:    NewGenerator(prefixVocab, s),
+			rng:    rand.New(rand.NewSource(s + 1)),
+			think:  think,
+			maxSeq: maxSeq,
+			turns:  turns,
+		}
+		// A 64-token per-client system prompt opens every turn's prompt.
+		c.hist = c.gen.Prompt(64)
+		clients[i] = c
+	}
+	return clients
+}
+
+// agentClient is one agent loop: every step issues a short task over
+// the same huge shared tool preamble and expects a short reply — the
+// high-hit-rate, cross-client sharing regime (all clients share the
+// preamble blocks).
+type agentClient struct {
+	preamble []int
+	gen      *Generator
+	rng      *rand.Rand
+	think    float64
+	maxSeq   int
+	step     int
+	steps    int
+}
+
+func (a *agentClient) Next() ([]int, int, float64, bool) {
+	if a.step >= a.steps {
+		return nil, 0, 0, false
+	}
+	task := a.gen.Prompt(8 + a.rng.Intn(17))
+	output := 16 + a.rng.Intn(33)
+	if a.maxSeq > 0 && len(a.preamble)+len(task)+output > a.maxSeq {
+		return nil, 0, 0, false
+	}
+	a.step++
+	tokens := make([]int, 0, len(a.preamble)+len(task))
+	tokens = append(tokens, a.preamble...)
+	tokens = append(tokens, task...)
+	return tokens, output, a.rng.ExpFloat64() * a.think, true
+}
+
+// agentPreambleTokens is the shared tool-prompt length of the agent
+// workload — deliberately huge relative to the per-step task, so the
+// prefill saving dominates.
+const agentPreambleTokens = 512
+
+// NewAgentClients returns n agent-loop clients running up to steps
+// short tool-call bursts each over one seed-derived tool preamble
+// shared by every client. Think times are exponential with the given
+// mean — agents barely pause between steps, so pass a small mean.
+func NewAgentClients(n, steps int, think float64, maxSeq int, seed int64) []ClosedClient {
+	preamble := NewGenerator(prefixVocab, seed).Prompt(agentPreambleTokens)
+	clients := make([]ClosedClient, n)
+	for i := range clients {
+		s := seed + int64(i+1)*clientSeedStride
+		clients[i] = &agentClient{
+			preamble: preamble,
+			gen:      NewGenerator(prefixVocab, s),
+			rng:      rand.New(rand.NewSource(s + 1)),
+			think:    think,
+			maxSeq:   maxSeq,
+			steps:    steps,
+		}
+	}
+	return clients
+}
+
+const (
+	ragPreambleTokens = 32
+	ragDocTokens      = 384
+	ragDocPool        = 12
+)
+
+// NewRAGTrace returns an open-loop Poisson trace of n retrieval-
+// augmented requests at the given mean rate: every prompt is a shared
+// 32-token system preamble, one of 12 fixed 384-token documents, and a
+// unique short question. Requests grounded in the same document share
+// the preamble+document prefix — a long-context mixture with moderate,
+// popularity-skewed reuse. Deterministic in the seed.
+func NewRAGTrace(n int, rate float64, maxSeq int, seed int64) (Trace, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: rag trace needs a positive request count, got %d", n)
+	}
+	if rate <= 0 {
+		return nil, fmt.Errorf("workload: rag trace needs a positive arrival rate, got %v req/s", rate)
+	}
+	preamble := NewGenerator(prefixVocab, seed).Prompt(ragPreambleTokens)
+	docs := make([][]int, ragDocPool)
+	for d := range docs {
+		docs[d] = NewGenerator(prefixVocab, seed+1000+int64(d)).Prompt(ragDocTokens)
+	}
+	rng := rand.New(rand.NewSource(seed + 2))
+	qgen := NewGenerator(prefixVocab, seed+3)
+	t := make(Trace, 0, n)
+	clock := 0.0
+	for i := 0; i < n; i++ {
+		clock += rng.ExpFloat64() / rate
+		// min of two uniform draws skews retrieval toward popular documents.
+		d := rng.Intn(ragDocPool)
+		if d2 := rng.Intn(ragDocPool); d2 < d {
+			d = d2
+		}
+		question := qgen.Prompt(8 + rng.Intn(25))
+		output := 24 + rng.Intn(73)
+		tokens := make([]int, 0, ragPreambleTokens+ragDocTokens+len(question))
+		tokens = append(tokens, preamble...)
+		tokens = append(tokens, docs[d]...)
+		tokens = append(tokens, question...)
+		if maxSeq > 0 && len(tokens)+output > maxSeq {
+			return nil, fmt.Errorf("workload: rag request %d needs %d tokens, exceeding max %d", i, len(tokens)+output, maxSeq)
+		}
+		t = append(t, Request{ID: i, Arrival: clock, Input: len(tokens), Output: output, Tokens: tokens})
+	}
+	return t, nil
+}
+
+// NewConversationTrace returns an open-loop multi-turn trace for fleet
+// routing experiments: conversations' turns interleave round-robin on
+// one Poisson arrival timeline, each turn's prompt replaying its
+// conversation's full history (synthesized replies included, on the
+// open-loop approximation that users respond on schedule). A
+// conversation that would overflow maxSeq resets to a fresh session.
+// Turn k of conversation c is request c + k*conversations, so arrivals
+// stay ordered while every consecutive window mixes all conversations
+// — the regime where router choice decides the prefix hit rate.
+func NewConversationTrace(conversations, turns int, rate float64, maxSeq int, seed int64) (Trace, error) {
+	if conversations <= 0 || turns <= 0 {
+		return nil, fmt.Errorf("workload: conversation trace needs positive conversations and turns, got %d×%d", conversations, turns)
+	}
+	if rate <= 0 {
+		return nil, fmt.Errorf("workload: conversation trace needs a positive arrival rate, got %v req/s", rate)
+	}
+	type convState struct {
+		gen  *Generator
+		rng  *rand.Rand
+		hist []int
+	}
+	convs := make([]*convState, conversations)
+	for c := range convs {
+		s := seed + int64(c)*clientSeedStride
+		convs[c] = &convState{
+			gen: NewGenerator(prefixVocab, s),
+			rng: rand.New(rand.NewSource(s + 1)),
+		}
+		convs[c].hist = convs[c].gen.Prompt(64)
+	}
+	arrival := rand.New(rand.NewSource(seed + 7))
+	n := conversations * turns
+	t := make(Trace, 0, n)
+	clock := 0.0
+	for i := 0; i < n; i++ {
+		clock += arrival.ExpFloat64() / rate
+		cs := convs[i%conversations]
+		cs.hist = append(cs.hist, cs.gen.Prompt(16+cs.rng.Intn(33))...)
+		output := 32 + cs.rng.Intn(65)
+		if maxSeq > 0 && len(cs.hist)+output > maxSeq {
+			// Context window exhausted: start a fresh session.
+			cs.hist = cs.gen.Prompt(64)
+			cs.hist = append(cs.hist, cs.gen.Prompt(16+cs.rng.Intn(33))...)
+		}
+		tokens := append([]int(nil), cs.hist...)
+		t = append(t, Request{ID: i, Arrival: clock, Input: len(tokens), Output: output, Tokens: tokens})
+		// The (synthesized) reply joins the history for the next turn.
+		cs.hist = append(cs.hist, cs.gen.Prompt(output)...)
+	}
+	return t, nil
+}

@@ -215,6 +215,13 @@ type Request struct {
 	Arrival float64 // seconds since trace start
 	Input   int     // prompt tokens (s)
 	Output  int     // generated tokens (n)
+	// Tokens, when non-nil, is the prompt's token-ID content — the
+	// identity the shared prefix cache matches on. It must then hold
+	// exactly Input tokens. A nil Tokens keeps the request anonymous:
+	// every cost is identical, it just can never share prefix KV. The
+	// multi-turn, agent, and RAG generators populate it; the shape-only
+	// traces (Poisson, uniform) leave it nil.
+	Tokens []int
 }
 
 // String formats the request like a (t, s, n) triple.
@@ -248,6 +255,9 @@ func (t Trace) Validate(maxSeq int) error {
 		}
 		if maxSeq > 0 && r.Input+r.Output > maxSeq {
 			return fmt.Errorf("workload: request %d sequence %d exceeds max %d", i, r.Input+r.Output, maxSeq)
+		}
+		if r.Tokens != nil && len(r.Tokens) != r.Input {
+			return fmt.Errorf("workload: request %d carries %d token IDs for an input of %d", i, len(r.Tokens), r.Input)
 		}
 	}
 	return nil

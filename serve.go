@@ -40,6 +40,52 @@ func UniformTrace(n int, spacing float64, input, output int) TraceWorkload {
 	return workload.UniformTrace(n, spacing, input, output)
 }
 
+// ClosedClient is one deterministic closed-loop client script for
+// Engine.ServeScripted: each Next call yields the client's next request
+// — prompt token IDs, output length, think time — or ok=false when the
+// script ends. The conversation and agent constructors below build the
+// prefix-sharing workloads; any custom implementation works as long as
+// Next is deterministic.
+type ClosedClient = workload.ClosedClient
+
+// NewConversationClients returns n multi-turn conversation clients of up
+// to `turns` turns, each turn's prompt replaying the conversation's full
+// growing history — per-client system prompt, earlier turns, and
+// synthesized assistant replies — plus fresh user tokens. Sharing is
+// within a conversation (clients never share prefixes), making it the
+// canonical prefix-cache workload. think is the mean exponential think
+// time between a completion and the client's next turn; maxSeq caps the
+// history (a conversation that would overflow ends early; pass the
+// model's MaxSeq). Deterministic in seed, with per-client RNG streams.
+func NewConversationClients(n, turns int, think float64, maxSeq int, seed int64) []ClosedClient {
+	return workload.NewConversationClients(n, turns, think, maxSeq, seed)
+}
+
+// NewAgentClients returns n agent-loop clients of up to `steps` steps:
+// every step issues a short task prompt over one huge tool preamble
+// shared by all clients — the high-hit-rate, cross-client sharing
+// regime. Parameters as in NewConversationClients.
+func NewAgentClients(n, steps int, think float64, maxSeq int, seed int64) []ClosedClient {
+	return workload.NewAgentClients(n, steps, think, maxSeq, seed)
+}
+
+// NewRAGTrace returns an open-loop Poisson trace of n retrieval-
+// augmented requests: a shared system preamble, one of a small pool of
+// long documents (popularity-skewed), and a unique question — a
+// long-context mixture with moderate prefix reuse. Deterministic in
+// seed.
+func NewRAGTrace(n int, rate float64, maxSeq int, seed int64) (TraceWorkload, error) {
+	return workload.NewRAGTrace(n, rate, maxSeq, seed)
+}
+
+// NewConversationTrace returns an open-loop multi-turn trace whose
+// conversations' turns interleave round-robin on one Poisson timeline —
+// the fleet-routing workload, where keeping a conversation's turns on
+// one replica decides the prefix hit rate. Deterministic in seed.
+func NewConversationTrace(conversations, turns int, rate float64, maxSeq int, seed int64) (TraceWorkload, error) {
+	return workload.NewConversationTrace(conversations, turns, rate, maxSeq, seed)
+}
+
 // ServeOptions configures one continuous-batching serving simulation.
 //
 // Deprecated: ServeOptions is the one-shot configuration for the Serve

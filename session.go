@@ -206,6 +206,9 @@ func (t sessionTap) OnStep(e StepEvent) {
 }
 
 func (t sessionTap) OnAdmission(e AdmissionEvent) {
+	if e.PrefixProbed {
+		t.s.window.ObservePrefix(e.CachedTokens, e.SharedBytes)
+	}
 	if o := t.s.eng.observer; o != nil {
 		o.OnAdmission(e)
 	}
@@ -344,6 +347,82 @@ func (e *Engine) ServeClosedLoop(ctx context.Context, cl ClosedLoop) (*ServeResu
 	}
 
 	for c := 0; c < cl.Clients; c++ {
+		issue(c, 0)
+	}
+
+	for pushErr == nil {
+		progressed, err := s.Advance()
+		if err != nil || !progressed {
+			break // latched errors surface from Close
+		}
+	}
+	res, err := s.Close()
+	if err == nil && pushErr != nil {
+		return res, pushErr
+	}
+	return res, err
+}
+
+// ServeScripted runs a closed-loop serving simulation over explicit
+// client scripts: each client issues its script's next request when the
+// previous one completes, with the script's own think time — the runner
+// behind the conversation and agent prefix-sharing workloads
+// (NewConversationClients, NewAgentClients), and the closed-loop
+// counterpart of replaying a token-carrying trace. Requests carry the
+// scripts' token IDs, so with WithPrefixCache enabled the serving loop
+// shares block-aligned prompt prefixes across them. The run is
+// deterministic for deterministic scripts: a single-goroutine
+// simulation issues every request, and request IDs are assigned in
+// issue order. Cancelling ctx returns partial metrics alongside
+// ctx.Err(), as in Serve.
+func (e *Engine) ServeScripted(ctx context.Context, clients []ClosedClient) (*ServeResult, error) {
+	if len(clients) == 0 {
+		return nil, &ConfigError{Field: "Clients", Value: len(clients), Reason: "at least one scripted client required"}
+	}
+	for i, c := range clients {
+		if c == nil {
+			return nil, &ConfigError{Field: "Clients", Value: i, Reason: "nil scripted client"}
+		}
+	}
+	s, err := e.Open(ctx)
+	if err != nil {
+		return nil, err
+	}
+
+	clientOf := make([]int, 0, len(clients))
+	issued := 0
+	var pushErr error
+
+	// issue pushes client c's next scripted request, arriving its think
+	// time after now; an exhausted script simply stops issuing.
+	issue := func(c int, now float64) {
+		if pushErr != nil {
+			return
+		}
+		tokens, output, think, ok := clients[c].Next()
+		if !ok {
+			return
+		}
+		id := issued
+		issued++
+		clientOf = append(clientOf, c)
+		if err := s.Push(Request{
+			ID: id, Arrival: now + think,
+			Input: len(tokens), Output: output, Tokens: tokens,
+		}); err != nil {
+			pushErr = err
+		}
+	}
+
+	if err := s.Subscribe(ObserverFuncs{Completion: func(ev CompletionEvent) {
+		if ev.Request >= 0 && ev.Request < len(clientOf) {
+			issue(clientOf[ev.Request], ev.Clock)
+		}
+	}}); err != nil {
+		return nil, err
+	}
+
+	for c := range clients {
 		issue(c, 0)
 	}
 

@@ -13,12 +13,15 @@ import (
 
 // wantAnnotated is the agreed hot-path set: the serving loop's
 // admission/decode path, the wait-queue heap ops, rolling-window and
-// sketch ingestion, the cluster turn loop, and the prefix-cache probe/
-// insert/evict machinery. The test fails in BOTH directions — a lost
+// sketch ingestion, the cluster turn loop, the prefix-cache probe/
+// insert/evict machinery, and the gateway's per-event fan-out. The test fails in BOTH directions — a lost
 // annotation shrinks coverage silently, and a new annotation is a
 // contract change that belongs in this list (and in DESIGN.md §12).
 var wantAnnotated = []string{
 	"internal/cluster.(*Cluster).advance",
+	"internal/gateway.(*Bridge).fanout",
+	"internal/gateway.(*Subscriber).publish",
+	"internal/gateway.(bridgeTap).OnToken",
 	"internal/metrics.(*Window).Observe",
 	"internal/metrics/sketch.(*Sketch).Observe",
 	"internal/metrics/sketch.(*Sketch).compact",

@@ -1,0 +1,98 @@
+package gateway
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestGatewayLoadTable is the wall-clock load generator behind the
+// EXPERIMENTS.md gateway table: it offers live (unscripted) requests at
+// a fixed wall rate against gateways at several time scales and measures
+// wall-clock time-to-first-token from POST to the first_token SSE event.
+// It measures the real wall clock, so it is skipped unless
+// GATEWAY_LOAD_TABLE=1 — CI latency noise would make it flaky, and the
+// numbers only mean anything on an idle machine.
+func TestGatewayLoadTable(t *testing.T) {
+	if os.Getenv("GATEWAY_LOAD_TABLE") == "" {
+		t.Skip("set GATEWAY_LOAD_TABLE=1 to run the wall-clock load generator")
+	}
+	for _, scale := range []float64{1, 8, 0} {
+		for _, rate := range []float64{4, 16} {
+			runLoadRow(t, scale, rate, 12)
+		}
+	}
+}
+
+func runLoadRow(t *testing.T, scale, rate float64, n int) {
+	t.Helper()
+	g := newTestGateway(t, Config{TimeScale: scale})
+	srv := httptest.NewServer(g)
+	defer srv.Close()
+
+	wallTTFT := make([]float64, 0, n)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			time.Sleep(time.Duration(float64(time.Second) / rate))
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sent := time.Now()
+			resp, err := http.Post(srv.URL+"/v1/completions", "application/json",
+				strings.NewReader(`{"input_tokens":512,"max_tokens":8,"stream":true}`))
+			if err != nil {
+				t.Errorf("POST: %v", err)
+				return
+			}
+			defer resp.Body.Close()
+			sc := bufio.NewScanner(resp.Body)
+			for sc.Scan() {
+				if sc.Text() == "event: first_token" {
+					mu.Lock()
+					wallTTFT = append(wallTTFT, time.Since(sent).Seconds())
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	span := time.Since(start).Seconds()
+	if t.Failed() {
+		t.FailNow()
+	}
+	if len(wallTTFT) != n {
+		t.Fatalf("saw %d first tokens, want %d", len(wallTTFT), n)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := g.Drain(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Float64s(wallTTFT)
+	mean := 0.0
+	for _, v := range wallTTFT {
+		mean += v
+	}
+	mean /= float64(len(wallTTFT))
+	p95 := wallTTFT[(len(wallTTFT)*95)/100]
+	scaleLabel := fmt.Sprintf("%g", scale)
+	if scale == 0 {
+		scaleLabel = "0 (AFAP)"
+	}
+	t.Logf("| %-8s | %7.0f | %8.1f | %12.0f | %11.0f | %12.0f |",
+		scaleLabel, rate, float64(n)/span, mean*1000, p95*1000, res.TTFT.Mean*1000)
+}

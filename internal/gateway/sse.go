@@ -1,0 +1,125 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The wire payloads are per-kind projections of Event: each SSE `data:`
+// line carries exactly the fields its kind documents, in a fixed order,
+// so a stream transcript is byte-stable and golden-testable. Every
+// payload leads with type/id/request/clock — the correlation spine a
+// client or log scraper keys on.
+
+type wireAdmission struct {
+	Type    Kind    `json:"type"`
+	ID      string  `json:"id"`
+	Request int     `json:"request"`
+	Clock   float64 `json:"clock"`
+	Wait    float64 `json:"wait"`
+	Input   int     `json:"input_tokens"`
+	Output  int     `json:"output_tokens"`
+	Batch   int     `json:"batch"`
+}
+
+type wireFirstToken struct {
+	Type    Kind    `json:"type"`
+	ID      string  `json:"id"`
+	Request int     `json:"request"`
+	Clock   float64 `json:"clock"`
+	TTFT    float64 `json:"ttft"`
+}
+
+type wireToken struct {
+	Type    Kind    `json:"type"`
+	ID      string  `json:"id"`
+	Request int     `json:"request"`
+	Clock   float64 `json:"clock"`
+	Index   int     `json:"index"`
+}
+
+type wirePreemption struct {
+	Type      Kind    `json:"type"`
+	ID        string  `json:"id"`
+	Request   int     `json:"request"`
+	Clock     float64 `json:"clock"`
+	Generated int     `json:"generated"`
+}
+
+type wireCompletion struct {
+	Type        Kind    `json:"type"`
+	ID          string  `json:"id"`
+	Request     int     `json:"request"`
+	Clock       float64 `json:"clock"`
+	TTFT        float64 `json:"ttft"`
+	TPOT        float64 `json:"tpot"`
+	E2E         float64 `json:"e2e"`
+	SLOMet      bool    `json:"slo_met"`
+	Preemptions int     `json:"preemptions"`
+}
+
+type wireDropped struct {
+	Type    Kind   `json:"type"`
+	ID      string `json:"id"`
+	Request int    `json:"request"`
+	Dropped int    `json:"dropped"`
+}
+
+type wireError struct {
+	Type    Kind    `json:"type"`
+	ID      string  `json:"id"`
+	Request int     `json:"request"`
+	Clock   float64 `json:"clock"`
+	Error   string  `json:"error"`
+}
+
+// writeSSE emits one server-sent event: the kind as the event name, the
+// payload JSON as the data line.
+func writeSSE(w io.Writer, kind Kind, payload any) error {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", kind, data)
+	return err
+}
+
+// encodeSSE projects ev onto its kind's wire payload and writes it.
+func encodeSSE(w io.Writer, ev Event) error {
+	switch ev.Kind {
+	case KindAdmission:
+		return writeSSE(w, ev.Kind, wireAdmission{Type: ev.Kind, ID: ev.ID, Request: ev.Request,
+			Clock: ev.Clock, Wait: ev.Wait, Input: ev.Input, Output: ev.Output, Batch: ev.Batch})
+	case KindFirstToken:
+		return writeSSE(w, ev.Kind, wireFirstToken{Type: ev.Kind, ID: ev.ID, Request: ev.Request,
+			Clock: ev.Clock, TTFT: ev.TTFT})
+	case KindToken:
+		return writeSSE(w, ev.Kind, wireToken{Type: ev.Kind, ID: ev.ID, Request: ev.Request,
+			Clock: ev.Clock, Index: ev.Index})
+	case KindPreemption:
+		return writeSSE(w, ev.Kind, wirePreemption{Type: ev.Kind, ID: ev.ID, Request: ev.Request,
+			Clock: ev.Clock, Generated: ev.Generated})
+	case KindCompletion:
+		return writeSSE(w, ev.Kind, wireCompletion{Type: ev.Kind, ID: ev.ID, Request: ev.Request,
+			Clock: ev.Clock, TTFT: ev.TTFT, TPOT: ev.TPOT, E2E: ev.E2E,
+			SLOMet: ev.SLOMet, Preemptions: ev.Preemptions})
+	case KindError:
+		return writeSSE(w, ev.Kind, wireError{Type: ev.Kind, ID: ev.ID, Request: ev.Request,
+			Clock: ev.Clock, Error: ev.Err})
+	default:
+		return fmt.Errorf("gateway: unknown event kind %q", ev.Kind)
+	}
+}
+
+// writeDropMarker surfaces a DropOldest overflow to the client: n events
+// were lost ahead of whatever follows.
+func writeDropMarker(w io.Writer, id string, request, n int) error {
+	return writeSSE(w, "dropped", wireDropped{Type: "dropped", ID: id, Request: request, Dropped: n})
+}
+
+// writeDone terminates an SSE stream OpenAI-style.
+func writeDone(w io.Writer) error {
+	_, err := io.WriteString(w, "data: [DONE]\n\n")
+	return err
+}

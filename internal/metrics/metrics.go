@@ -250,13 +250,15 @@ func Percentile(v []float64, p float64) float64 {
 }
 
 // LatencySummary is the percentile digest the serving evaluation reports
-// for each latency distribution (TTFT, TPOT, end-to-end).
+// for each latency distribution (TTFT, TPOT, end-to-end). The JSON tags
+// are part of the WindowSnapshot wire format served by the gateway's
+// /v1/metrics endpoint; see the golden encoding test.
 type LatencySummary struct {
-	Mean float64
-	P50  float64
-	P95  float64
-	P99  float64
-	Max  float64
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
 }
 
 // Summarize digests v into its serving percentiles. Empty input yields the

@@ -118,39 +118,45 @@ func (w *Window) ObservePrefix(cachedTokens int, sharedBytes int64) {
 }
 
 // WindowSnapshot is one point-in-time digest of a rolling Window.
+// The JSON field names are a stable wire format: the serving gateway's
+// /v1/metrics endpoint and any dashboard scraping it share this one
+// encoding, pinned by a golden test. Renaming a tag is a wire-protocol
+// break, not a refactor.
 type WindowSnapshot struct {
 	// Count is the completions in the window; the zero snapshot (no
 	// completions yet) has Count 0 and every other field zero.
-	Count int
+	Count int `json:"count"`
 	// Oldest and Newest are the completion clocks spanning the window,
 	// in simulated seconds.
-	Oldest, Newest float64
+	Oldest float64 `json:"oldest"`
+	Newest float64 `json:"newest"`
 
-	TTFT LatencySummary
-	TPOT LatencySummary
-	E2E  LatencySummary
+	TTFT LatencySummary `json:"ttft"`
+	TPOT LatencySummary `json:"tpot"`
+	E2E  LatencySummary `json:"e2e"`
 
 	// Throughput and Goodput are generated tokens per second over the
 	// window span — all completions, and SLO-meeting completions only.
 	// Both are 0 while the span is degenerate (fewer than two distinct
 	// completion clocks).
-	Throughput float64
-	Goodput    float64
+	Throughput float64 `json:"throughput"`
+	Goodput    float64 `json:"goodput"`
 	// SLOAttainment is the fraction of windowed completions that met
 	// both SLOs.
-	SLOAttainment float64
+	SLOAttainment float64 `json:"slo_attainment"`
 
 	// PrefixHits and PrefixMisses are the session-cumulative prefix-cache
 	// probe outcomes (admissions of token-carrying requests); all four
 	// prefix fields stay zero when the cache is off. PrefixHitRate is
 	// hits over probes.
-	PrefixHits, PrefixMisses int
-	PrefixHitRate            float64
+	PrefixHits    int     `json:"prefix_hits"`
+	PrefixMisses  int     `json:"prefix_misses"`
+	PrefixHitRate float64 `json:"prefix_hit_rate"`
 	// PrefixCachedTokens is the cumulative prompt tokens served from the
 	// shared cache; PrefixSharedBytes the cache's resident bytes at the
 	// most recent admission.
-	PrefixCachedTokens int64
-	PrefixSharedBytes  int64
+	PrefixCachedTokens int64 `json:"prefix_cached_tokens"`
+	PrefixSharedBytes  int64 `json:"prefix_shared_bytes"`
 }
 
 // Snapshot digests the current window. The three latency summaries are

@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestWindowSnapshotJSONGolden pins the WindowSnapshot wire format. The
+// gateway's /v1/metrics endpoint serves this encoding verbatim, so the
+// field names, order, and shape are a public contract: a diff here is a
+// wire-protocol break that every scraper and dashboard sees, not an
+// internal refactor.
+func TestWindowSnapshotJSONGolden(t *testing.T) {
+	snap := WindowSnapshot{
+		Count:  3,
+		Oldest: 1.5,
+		Newest: 4.25,
+		TTFT:   LatencySummary{Mean: 0.5, P50: 0.45, P95: 0.9, P99: 0.99, Max: 1.25},
+		TPOT:   LatencySummary{Mean: 0.05, P50: 0.04, P95: 0.09, P99: 0.1, Max: 0.125},
+		E2E:    LatencySummary{Mean: 2, P50: 1.75, P95: 3.5, P99: 3.9, Max: 4},
+
+		Throughput:    128.5,
+		Goodput:       96.25,
+		SLOAttainment: 0.75,
+
+		PrefixHits:         2,
+		PrefixMisses:       1,
+		PrefixHitRate:      0.6666666666666666,
+		PrefixCachedTokens: 48,
+		PrefixSharedBytes:  4096,
+	}
+	const want = `{` +
+		`"count":3,"oldest":1.5,"newest":4.25,` +
+		`"ttft":{"mean":0.5,"p50":0.45,"p95":0.9,"p99":0.99,"max":1.25},` +
+		`"tpot":{"mean":0.05,"p50":0.04,"p95":0.09,"p99":0.1,"max":0.125},` +
+		`"e2e":{"mean":2,"p50":1.75,"p95":3.5,"p99":3.9,"max":4},` +
+		`"throughput":128.5,"goodput":96.25,"slo_attainment":0.75,` +
+		`"prefix_hits":2,"prefix_misses":1,"prefix_hit_rate":0.6666666666666666,` +
+		`"prefix_cached_tokens":48,"prefix_shared_bytes":4096}`
+	got, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != want {
+		t.Errorf("WindowSnapshot wire format changed:\n got %s\nwant %s", got, want)
+	}
+
+	// The zero snapshot must stay fully populated (no omitempty): a
+	// scraper polling an idle gateway sees every field, zero-valued.
+	zero, err := json.Marshal(WindowSnapshot{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantZero = `{` +
+		`"count":0,"oldest":0,"newest":0,` +
+		`"ttft":{"mean":0,"p50":0,"p95":0,"p99":0,"max":0},` +
+		`"tpot":{"mean":0,"p50":0,"p95":0,"p99":0,"max":0},` +
+		`"e2e":{"mean":0,"p50":0,"p95":0,"p99":0,"max":0},` +
+		`"throughput":0,"goodput":0,"slo_attainment":0,` +
+		`"prefix_hits":0,"prefix_misses":0,"prefix_hit_rate":0,` +
+		`"prefix_cached_tokens":0,"prefix_shared_bytes":0}`
+	if string(zero) != wantZero {
+		t.Errorf("zero WindowSnapshot wire format changed:\n got %s\nwant %s", zero, wantZero)
+	}
+
+	// Round-trip: the wire names decode back onto the same struct.
+	var back WindowSnapshot
+	if err := json.Unmarshal(got, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != snap {
+		t.Errorf("round-trip mismatch:\n got %+v\nwant %+v", back, snap)
+	}
+}

@@ -663,6 +663,18 @@ func (l *Loop) Clock() float64 { return l.s.sys.Clock() }
 // Pending returns the number of injected requests waiting for admission.
 func (l *Loop) Pending() int { return l.s.queue.Len() }
 
+// NextArrival reports the earliest queued arrival and whether the wait
+// queue holds any request. While the decode batch is empty the next
+// Advance jumps the clock straight to this time, so a wall-clock pacing
+// layer sleeps the dilated interval up front instead of discovering the
+// jump after the fact.
+func (l *Loop) NextArrival() (float64, bool) {
+	if l.s.queue.Len() == 0 {
+		return 0, false
+	}
+	return l.s.queue.Peek().Arrival, true
+}
+
 // Active returns the current decode-batch occupancy.
 func (l *Loop) Active() int { return len(l.s.active) }
 

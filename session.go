@@ -2,13 +2,21 @@ package alisa
 
 import (
 	"context"
-	"fmt"
+	"errors"
 	"math/rand"
 
 	"repro/internal/metrics"
 	"repro/internal/serve"
 	"repro/internal/workload"
 )
+
+// ErrSessionClosed reports a transition attempted on a Session after
+// Close: Push, Advance, Fork, and Subscribe all fail with it once the
+// session has begun (or finished) its graceful drain. Callers that race
+// submissions against shutdown — a serving gateway draining on SIGTERM —
+// test for it with errors.Is and translate it into their own
+// "unavailable, stop sending" signal rather than a hard failure.
+var ErrSessionClosed = errors.New("alisa: session closed")
 
 // WindowSnapshot is one point-in-time digest of a session's rolling
 // completion window: TTFT/TPOT/E2E percentiles, windowed throughput and
@@ -81,7 +89,7 @@ func (e *Engine) Open(ctx context.Context) (*Session, error) {
 // sequence budget. Pushing on a closed or failed session is an error.
 func (s *Session) Push(req Request) error {
 	if s.closed {
-		return fmt.Errorf("alisa: session closed")
+		return ErrSessionClosed
 	}
 	return s.loop.Inject(req)
 }
@@ -95,7 +103,7 @@ func (s *Session) Push(req Request) error {
 // reports the outcome.
 func (s *Session) Advance() (bool, error) {
 	if s.closed {
-		return false, fmt.Errorf("alisa: session closed")
+		return false, ErrSessionClosed
 	}
 	return s.loop.Advance(s.ctx)
 }
@@ -108,6 +116,14 @@ func (s *Session) Pending() int { return s.loop.Pending() }
 
 // InFlight returns the current decode-batch occupancy.
 func (s *Session) InFlight() int { return s.loop.Active() }
+
+// NextArrival reports the earliest queued arrival time, in simulated
+// seconds, and whether any request is waiting for admission. A pacing
+// layer mapping simulated time onto a wall clock (the serving gateway's
+// time-dilation bridge) peeks at it to know how long the next Advance
+// would jump while the batch is empty, and sleeps the dilated wall
+// interval before advancing instead of after.
+func (s *Session) NextArrival() (float64, bool) { return s.loop.NextArrival() }
 
 // Snapshot digests the rolling completion window — TTFT/TPOT/E2E
 // percentiles, windowed throughput/goodput, and SLO attainment over the
@@ -134,7 +150,7 @@ func (s *Session) Snapshot() WindowSnapshot { return s.window.Snapshot() }
 // Forking a closed or failed session is an error.
 func (s *Session) Fork() (*Session, error) {
 	if s.closed {
-		return nil, fmt.Errorf("alisa: session closed")
+		return nil, ErrSessionClosed
 	}
 	f := &Session{
 		eng:    s.eng,
@@ -159,7 +175,7 @@ func (s *Session) Subscribe(obs Observer) error {
 		return &ConfigError{Field: "Observer", Value: nil, Reason: "observer must be non-nil"}
 	}
 	if s.closed {
-		return fmt.Errorf("alisa: session closed")
+		return ErrSessionClosed
 	}
 	s.subs = append(s.subs, obs)
 	return nil

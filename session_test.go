@@ -281,14 +281,19 @@ func TestSessionStateErrors(t *testing.T) {
 	if err != nil || again != res {
 		t.Fatal("Close not idempotent")
 	}
-	if err := s.Push(Request{ID: 1, Arrival: 0, Input: 32, Output: 8}); err == nil {
-		t.Fatal("Push accepted after Close")
+	// Every use-after-Close failure is the one sentinel, so callers (the
+	// HTTP gateway maps it to 503) can branch with errors.Is.
+	if err := s.Push(Request{ID: 1, Arrival: 0, Input: 32, Output: 8}); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("Push after Close: %v, want ErrSessionClosed", err)
 	}
-	if _, err := s.Advance(); err == nil {
-		t.Fatal("Advance accepted after Close")
+	if _, err := s.Advance(); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("Advance after Close: %v, want ErrSessionClosed", err)
 	}
-	if err := s.Subscribe(ObserverFuncs{}); err == nil {
-		t.Fatal("Subscribe accepted after Close")
+	if err := s.Subscribe(ObserverFuncs{}); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("Subscribe after Close: %v, want ErrSessionClosed", err)
+	}
+	if _, err := s.Fork(); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("Fork after Close: %v, want ErrSessionClosed", err)
 	}
 }
 
